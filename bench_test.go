@@ -1,0 +1,119 @@
+package looppart_test
+
+// The paper-reproduction benchmark harness: one benchmark per experiment
+// (the paper's worked examples and figures — it publishes no numbered
+// tables; see DESIGN.md §2). Each benchmark regenerates its experiment's
+// measured rows; run with
+//
+//	go test -bench=. -benchmem
+//
+// and compare against EXPERIMENTS.md. Failing claims abort the benchmark.
+
+import (
+	"testing"
+
+	"looppart"
+	"looppart/internal/experiments"
+	"looppart/internal/paperex"
+)
+
+func benchExperiment(b *testing.B, run func() experiments.Result) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r := run()
+		if r.Err != nil {
+			b.Fatalf("%s errored: %v", r.ID, r.Err)
+		}
+		if !r.Pass {
+			b.Fatalf("%s no longer reproduces the paper:\n%s", r.ID, r)
+		}
+	}
+}
+
+func BenchmarkE1_Example2(b *testing.B)            { benchExperiment(b, experiments.E1) }
+func BenchmarkE2_Example3(b *testing.B)            { benchExperiment(b, experiments.E2) }
+func BenchmarkE3_Example6(b *testing.B)            { benchExperiment(b, experiments.E3) }
+func BenchmarkE4_CumulativeFootprint(b *testing.B) { benchExperiment(b, experiments.E4) }
+func BenchmarkE5_Example8(b *testing.B)            { benchExperiment(b, experiments.E5) }
+func BenchmarkE6_Doseq(b *testing.B)               { benchExperiment(b, experiments.E6) }
+func BenchmarkE7_Example9(b *testing.B)            { benchExperiment(b, experiments.E7) }
+func BenchmarkE8_Example10(b *testing.B)           { benchExperiment(b, experiments.E8) }
+func BenchmarkE9_LatticeUnion(b *testing.B)        { benchExperiment(b, experiments.E9) }
+func BenchmarkE10_CommFree(b *testing.B)           { benchExperiment(b, experiments.E10) }
+func BenchmarkE11_MatmulSync(b *testing.B)         { benchExperiment(b, experiments.E11) }
+func BenchmarkE12_DataPart(b *testing.B)           { benchExperiment(b, experiments.E12) }
+func BenchmarkE13_RankDeficient(b *testing.B)      { benchExperiment(b, experiments.E13) }
+func BenchmarkE14_AblationAH(b *testing.B)         { benchExperiment(b, experiments.E14) }
+
+// Pipeline throughput benchmarks: the compile-time cost of the analysis
+// itself, which the paper argues is low ("because they deal only with
+// index expressions, the algorithms are computationally efficient").
+
+func BenchmarkAnalyzePipeline(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := looppart.Parse(paperex.Example10, map[string]int64{"N": 512}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionRect(b *testing.B) {
+	prog := looppart.MustParse(paperex.Example8, map[string]int64{"N": 96})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Partition(64, looppart.Rect); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionAuto(b *testing.B) {
+	prog := looppart.MustParse(paperex.Example2, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Partition(100, looppart.Auto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateExample2(b *testing.B) {
+	prog := looppart.MustParse(paperex.Example2, nil)
+	plan, err := prog.Partition(100, looppart.Columns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Simulate(looppart.SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteMatmul(b *testing.B) {
+	prog := looppart.MustParse(paperex.MatmulSync, map[string]int64{"N": 16})
+	plan, err := prog.Partition(4, looppart.Blocks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE15_CacheLines(b *testing.B)     { benchExperiment(b, experiments.E15) }
+func BenchmarkE16_SmallCache(b *testing.B)     { benchExperiment(b, experiments.E16) }
+func BenchmarkE17_SpreadAblation(b *testing.B) { benchExperiment(b, experiments.E17) }
+
+func BenchmarkE18_LineShapes(b *testing.B) { benchExperiment(b, experiments.E18) }
+
+func BenchmarkE19_Placement(b *testing.B) { benchExperiment(b, experiments.E19) }
+
+func BenchmarkE20_ModelAccuracy(b *testing.B) { benchExperiment(b, experiments.E20) }
+
+func BenchmarkE21_VsRuntimeSched(b *testing.B) { benchExperiment(b, experiments.E21) }

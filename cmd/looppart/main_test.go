@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunExample2(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-procs", "100", "example2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"=== analysis ===",
+		"uniformly intersecting classes: 2",
+		"communication-free normals: [[0 1]]",
+		"comm-free plan for 100 procs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRunWithStrategyAndParams(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-procs", "8", "-strategy", "rect", "-param", "N=24", "example8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "rect plan for 8 procs") {
+		t.Errorf("output: %s", b.String())
+	}
+}
+
+func TestRunGenEmitsKernel(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-procs", "4", "-strategy", "blocks", "-gen", "example6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "func RunTile(") {
+		t.Errorf("kernel missing from output")
+	}
+}
+
+func TestRunGenRejectsSlabPlan(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-procs", "100", "-strategy", "comm-free", "-gen", "example2"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "tile-shaped plan") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.loop")
+	src := "doall (i, 1, 16)\n A[i] = A[i] + 1\nenddoall\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-procs", "4", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "=== partition ===") {
+		t.Error("partition section missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                 // no program
+		{"nonexistent-file.loop"},          // unknown file
+		{"-strategy", "bogus", "example2"}, // bad strategy
+		{"-param", "N", "example2"},        // malformed param
+		{"-procs", "100000", "example2"},   // infeasible
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestParamFlag(t *testing.T) {
+	p := paramFlags{}
+	if err := p.Set("N=32"); err != nil {
+		t.Fatal(err)
+	}
+	if p["N"] != 32 {
+		t.Fatalf("p = %v", p)
+	}
+	if err := p.Set("bad"); err == nil {
+		t.Error("malformed param accepted")
+	}
+	if err := p.Set("N=abc"); err == nil {
+		t.Error("non-numeric param accepted")
+	}
+	if p.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestRunGenSkewedKernel(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-procs", "12", "-strategy", "skewed", "-param", "N=36", "-gen", "example3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "func RunTile(c0, c1 int") {
+		t.Errorf("skewed kernel missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ceilDiv") {
+		t.Error("FM bounds helpers missing")
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExample2Table(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-procs", "100", "example2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"strategy", "rows", "columns", "blocks", "comm-free"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in table:\n%s", want, out)
+		}
+	}
+	// The paper's ordering: columns (204) beats blocks (240).
+	if !strings.Contains(out, "204.0") || !strings.Contains(out, "240.0") {
+		t.Errorf("expected 204.0 and 240.0 in:\n%s", out)
+	}
+}
+
+func TestRunMeshComparison(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-procs", "8", "-param", "N=16", "-mesh", "example8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "aligned") || !strings.Contains(out, "hashed") {
+		t.Errorf("mesh table missing:\n%s", out)
+	}
+}
+
+func TestRunFiniteCache(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-procs", "4", "-cache", "32", "-param", "N=16", "example3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "rect") {
+		t.Error("table missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{{}, {"no-such-file"}} {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestInfeasibleStrategyReportedInline(t *testing.T) {
+	// Rows with more processors than rows: the table should carry the
+	// error instead of aborting.
+	var b strings.Builder
+	if err := run([]string{"-procs", "100", "-param", "N=8", "example3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "—") {
+		t.Errorf("inline error marker missing:\n%s", b.String())
+	}
+}

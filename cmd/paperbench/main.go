@@ -1,0 +1,45 @@
+// Command paperbench regenerates every experiment of the reproduction —
+// the paper's worked examples, figures, and comparative claims — and
+// prints the measured-vs-paper table recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	paperbench [-id EID]
+//
+// With -id, only the named experiment (e.g. E8) runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"looppart/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "", "run only this experiment (E1..E14)")
+	flag.Parse()
+
+	var results []experiments.Result
+	if *id == "" {
+		results = experiments.All()
+	} else {
+		all := experiments.All()
+		for _, r := range all {
+			if r.ID == *id {
+				results = append(results, r)
+			}
+		}
+		if len(results) == 0 {
+			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *id)
+			os.Exit(2)
+		}
+	}
+	fmt.Print(experiments.FormatTable(results))
+	for _, r := range results {
+		if !r.Pass {
+			os.Exit(1)
+		}
+	}
+}

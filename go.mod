@@ -1,0 +1,3 @@
+module looppart
+
+go 1.22

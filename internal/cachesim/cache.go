@@ -1,0 +1,73 @@
+package cachesim
+
+import "container/list"
+
+// cache is one processor's cache: a set of datum keys with optional LRU
+// capacity. It remembers why absent lines left (invalidation vs eviction)
+// so misses can be classified.
+type cache struct {
+	capacity int // 0 = infinite
+	lines    map[string]*list.Element
+	lru      *list.List // front = most recent; values are datum keys
+
+	invalidated map[string]bool
+	evicted     map[string]bool
+}
+
+func newCache(capacity int) *cache {
+	return &cache{
+		capacity:    capacity,
+		lines:       make(map[string]*list.Element),
+		lru:         list.New(),
+		invalidated: make(map[string]bool),
+		evicted:     make(map[string]bool),
+	}
+}
+
+func (c *cache) has(datum string) bool {
+	_, ok := c.lines[datum]
+	return ok
+}
+
+// touch marks the line most-recently used.
+func (c *cache) touch(datum string) {
+	if el, ok := c.lines[datum]; ok {
+		c.lru.MoveToFront(el)
+	}
+}
+
+// insert adds the line, evicting the LRU line if at capacity.
+// It returns the evicted key, if any.
+func (c *cache) insert(datum string) (string, bool) {
+	if el, ok := c.lines[datum]; ok {
+		c.lru.MoveToFront(el)
+		return "", false
+	}
+	delete(c.invalidated, datum)
+	delete(c.evicted, datum)
+	c.lines[datum] = c.lru.PushFront(datum)
+	if c.capacity > 0 && c.lru.Len() > c.capacity {
+		back := c.lru.Back()
+		victim := back.Value.(string)
+		c.lru.Remove(back)
+		delete(c.lines, victim)
+		c.evicted[victim] = true
+		return victim, true
+	}
+	return "", false
+}
+
+// invalidate removes the line due to a remote write.
+func (c *cache) invalidate(datum string) {
+	if el, ok := c.lines[datum]; ok {
+		c.lru.Remove(el)
+		delete(c.lines, datum)
+		c.invalidated[datum] = true
+	}
+}
+
+func (c *cache) wasInvalidated(datum string) bool { return c.invalidated[datum] }
+func (c *cache) wasEvicted(datum string) bool     { return c.evicted[datum] }
+
+// size returns the number of resident lines.
+func (c *cache) size() int { return c.lru.Len() }

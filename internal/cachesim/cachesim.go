@@ -1,0 +1,340 @@
+// Package cachesim simulates the system model of §2.2: P processors, each
+// with a coherent cache, backed by uniform-access main memory over an
+// interconnect (Figure 2). It replays the memory references of a
+// partitioned loop nest and accounts for the events the paper's analysis
+// predicts: cold (first-reference) misses, coherence misses and
+// invalidations, and the total network traffic.
+//
+// The coherence protocol is a directory-based MSI over unit-length cache
+// lines (the paper's assumption; larger lines are a straightforward
+// extension it cites from Abraham and Hudak). Caches are infinite by
+// default — the paper's operating regime, where tile footprints fit — but
+// a finite LRU capacity can be configured to study the small-cache case.
+package cachesim
+
+import (
+	"fmt"
+
+	"looppart/internal/loopir"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	Procs int
+	// CacheLines bounds each processor cache in lines; 0 means infinite
+	// (the paper's model).
+	CacheLines int
+	// CostCacheHit, CostMemory, CostAtomic are the charge-per-access
+	// weights used for the Cost metric. Main memory is "much higher"
+	// than cache (§2.2); synchronizing references are "slightly more
+	// expensive communication than usual" (Appendix A).
+	CostCacheHit float64
+	CostMemory   float64
+	CostAtomic   float64
+	// MissCost, when non-nil, overrides CostMemory/CostAtomic for miss
+	// fills: it returns the access cost and the network hop count for
+	// processor proc reaching datum's home memory. This is how the
+	// distributed-memory (Alewife mesh) model plugs in; the uniform
+	// model of Figure 2 leaves it nil.
+	MissCost func(proc int, datum string, atomic bool) (cost float64, hops int64)
+}
+
+// DefaultConfig mirrors the paper's qualitative model: memory 20× a cache
+// hit, synchronizing traffic 1.5× ordinary memory traffic.
+func DefaultConfig(procs int) Config {
+	return Config{
+		Procs:        procs,
+		CacheLines:   0,
+		CostCacheHit: 1,
+		CostMemory:   20,
+		CostAtomic:   30,
+	}
+}
+
+// lineState is the directory state of one datum.
+type lineState struct {
+	// sharers is the set of processors with a valid copy.
+	sharers map[int]bool
+	// owner is the last writer, -1 if the line is clean-shared.
+	owner int
+}
+
+// Metrics aggregates the simulation counters.
+type Metrics struct {
+	Procs int
+	// Accesses is the total number of references replayed.
+	Accesses int64
+	// ColdMisses: first reference to a datum by a processor that never
+	// held it (capacity evictions can re-trigger them; on infinite
+	// caches this equals the sum of per-processor footprint sizes).
+	ColdMisses int64
+	// CoherenceMisses: references that missed because another processor
+	// invalidated the local copy.
+	CoherenceMisses int64
+	// CapacityMisses: references that missed because the LRU evicted
+	// the line (only with finite caches).
+	CapacityMisses int64
+	// Invalidations: copies invalidated by remote writes.
+	Invalidations int64
+	// NetworkTraffic: messages on the interconnect — one per miss fill
+	// plus one per invalidation (unit-size lines).
+	NetworkTraffic int64
+	// SharedData counts data elements accessed by more than one
+	// processor over the whole run.
+	SharedData int64
+	// HopTraffic accumulates network hops when a MissCost hook supplies
+	// topology distances (zero under the uniform-memory model).
+	HopTraffic int64
+	// LocalMisses/RemoteMisses split misses by whether the MissCost hook
+	// reported zero hops (local memory module) or not.
+	LocalMisses  int64
+	RemoteMisses int64
+	// Cost is the weighted access cost under the Config weights.
+	Cost float64
+	// PerProc carries per-processor miss counts (cold + coherence +
+	// capacity), indexed by processor.
+	PerProc []int64
+}
+
+// Misses returns the total miss count.
+func (m Metrics) Misses() int64 { return m.ColdMisses + m.CoherenceMisses + m.CapacityMisses }
+
+// MissesPerProc returns the mean misses per processor.
+func (m Metrics) MissesPerProc() float64 {
+	if m.Procs == 0 {
+		return 0
+	}
+	return float64(m.Misses()) / float64(m.Procs)
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("misses=%d (cold=%d coherence=%d capacity=%d) inval=%d traffic=%d shared=%d cost=%.0f",
+		m.Misses(), m.ColdMisses, m.CoherenceMisses, m.CapacityMisses,
+		m.Invalidations, m.NetworkTraffic, m.SharedData, m.Cost)
+}
+
+// Machine is the simulated multiprocessor.
+type Machine struct {
+	cfg    Config
+	caches []*cache
+	dir    map[string]*lineState
+	// everTouched maps datum → set of processors that ever accessed it.
+	everTouched map[string]map[int]bool
+	metrics     Metrics
+}
+
+// New creates a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Procs <= 0 {
+		return nil, fmt.Errorf("cachesim: need at least one processor")
+	}
+	if cfg.CacheLines < 0 {
+		return nil, fmt.Errorf("cachesim: negative cache size")
+	}
+	m := &Machine{
+		cfg:         cfg,
+		dir:         make(map[string]*lineState),
+		everTouched: make(map[string]map[int]bool),
+	}
+	m.metrics.Procs = cfg.Procs
+	m.metrics.PerProc = make([]int64, cfg.Procs)
+	for p := 0; p < cfg.Procs; p++ {
+		m.caches = append(m.caches, newCache(cfg.CacheLines))
+	}
+	return m, nil
+}
+
+// Access replays one reference by processor proc to the named datum.
+func (m *Machine) Access(proc int, datum string, write, atomic bool) {
+	m.metrics.Accesses++
+	// Appendix A: synchronizing reads and writes are both treated as
+	// writes by the coherence system.
+	if atomic {
+		write = true
+	}
+
+	touched, ok := m.everTouched[datum]
+	if !ok {
+		touched = make(map[int]bool, 1)
+		m.everTouched[datum] = touched
+	}
+	touched[proc] = true
+
+	c := m.caches[proc]
+	st := m.dir[datum]
+	if st == nil {
+		st = &lineState{sharers: make(map[int]bool, 1), owner: -1}
+		m.dir[datum] = st
+	}
+
+	hit := c.has(datum)
+	if hit && write && st.owner != proc && len(st.sharers) > 1 {
+		// Shared copy upgraded to exclusive: others invalidate, and the
+		// upgrade costs a network round trip but not a refill.
+		m.invalidateOthers(st, proc, datum)
+		st.owner = proc
+		m.metrics.NetworkTraffic++
+		m.chargeHit(atomic)
+		c.touch(datum)
+		return
+	}
+	if hit {
+		if write {
+			st.owner = proc
+		}
+		m.chargeHit(atomic)
+		c.touch(datum)
+		return
+	}
+
+	// Miss path: classify.
+	switch {
+	case c.wasInvalidated(datum):
+		m.metrics.CoherenceMisses++
+	case c.wasEvicted(datum):
+		m.metrics.CapacityMisses++
+	default:
+		m.metrics.ColdMisses++
+	}
+	m.metrics.PerProc[proc]++
+	m.metrics.NetworkTraffic++ // line fill from memory
+	if write {
+		m.invalidateOthers(st, proc, datum)
+		st.owner = proc
+	} else if st.owner >= 0 && st.owner != proc {
+		// Reading a dirty line: writeback traffic, line becomes shared.
+		m.metrics.NetworkTraffic++
+		st.owner = -1
+	}
+	st.sharers[proc] = true
+	if evicted, ok := c.insert(datum); ok {
+		delete(st0(m.dir, evicted).sharers, proc)
+	}
+	if m.cfg.MissCost != nil {
+		cost, hops := m.cfg.MissCost(proc, datum, atomic)
+		m.metrics.Cost += cost
+		m.metrics.HopTraffic += hops
+		if hops == 0 {
+			m.metrics.LocalMisses++
+		} else {
+			m.metrics.RemoteMisses++
+		}
+	} else if m.cfg.CostMemory > 0 {
+		if atomic {
+			m.metrics.Cost += m.cfg.CostAtomic
+		} else {
+			m.metrics.Cost += m.cfg.CostMemory
+		}
+	}
+}
+
+func (m *Machine) chargeHit(atomic bool) {
+	if atomic {
+		// A synchronizing hit still costs coherence arbitration.
+		m.metrics.Cost += m.cfg.CostAtomic
+		m.metrics.NetworkTraffic++
+		return
+	}
+	m.metrics.Cost += m.cfg.CostCacheHit
+}
+
+func (m *Machine) invalidateOthers(st *lineState, proc int, datum string) {
+	for p := range st.sharers {
+		if p == proc {
+			continue
+		}
+		m.caches[p].invalidate(datum)
+		delete(st.sharers, p)
+		m.metrics.Invalidations++
+		m.metrics.NetworkTraffic++
+	}
+}
+
+// Finish computes the derived metrics and returns the totals.
+func (m *Machine) Finish() Metrics {
+	var shared int64
+	for _, procs := range m.everTouched {
+		if len(procs) > 1 {
+			shared++
+		}
+	}
+	m.metrics.SharedData = shared
+	return m.metrics
+}
+
+func st0(dir map[string]*lineState, key string) *lineState {
+	st := dir[key]
+	if st == nil {
+		st = &lineState{sharers: map[int]bool{}, owner: -1}
+		dir[key] = st
+	}
+	return st
+}
+
+// DatumKey builds the canonical datum key for an array element.
+func DatumKey(array string, index []int64) string {
+	key := array + "["
+	for i, v := range index {
+		if i > 0 {
+			key += ","
+		}
+		key += fmt.Sprintf("%d", v)
+	}
+	return key + "]"
+}
+
+// RunNest replays the nest under an iteration→processor assignment. Outer
+// sequential loops are replayed in order (each epoch revisits the whole
+// doall space, exposing steady-state coherence traffic, Figure 9).
+// assign maps a doall iteration point to its processor.
+func RunNest(m *Machine, n *loopir.Nest, assign func(p []int64) int) error {
+	vars := n.DoallVars()
+	seqLoops := n.SeqLoops()
+
+	var runEpoch func(extra map[string]int64) error
+	runEpoch = func(extra map[string]int64) error {
+		var err error
+		n.ForEachIteration(extra, func(env map[string]int64) bool {
+			p := make([]int64, len(vars))
+			for k, v := range vars {
+				p[k] = env[v]
+			}
+			proc := assign(p)
+			if proc < 0 || proc >= m.cfg.Procs {
+				err = fmt.Errorf("cachesim: iteration %v assigned to processor %d of %d", p, proc, m.cfg.Procs)
+				return false
+			}
+			for _, mr := range n.TraceIteration(env) {
+				m.AccessDatum(proc, mr.Array, mr.Index, mr.Write, mr.Atomic)
+			}
+			return true
+		})
+		return err
+	}
+
+	// Iterate the sequential loops as nested epochs.
+	var seq func(k int, extra map[string]int64) error
+	seq = func(k int, extra map[string]int64) error {
+		if k == len(seqLoops) {
+			return runEpoch(extra)
+		}
+		l := seqLoops[k]
+		for v := l.Lo; v <= l.Hi; v++ {
+			next := make(map[string]int64, len(extra)+1)
+			for kk, vv := range extra {
+				next[kk] = vv
+			}
+			next[l.Var] = v
+			if err := seq(k+1, next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return seq(0, map[string]int64{})
+}
+
+// AccessDatum is Access with structured array indices.
+func (m *Machine) AccessDatum(proc int, array string, index []int64, write, atomic bool) {
+	m.Access(proc, DatumKey(array, index), write, atomic)
+}

@@ -1,0 +1,283 @@
+package cachesim
+
+import (
+	"testing"
+
+	"looppart/internal/loopir"
+	"looppart/internal/paperex"
+	"looppart/internal/tile"
+)
+
+func mustMachine(t testing.TB, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	m := mustMachine(t, DefaultConfig(1))
+	m.Access(0, "A[0]", false, false)
+	m.Access(0, "A[0]", false, false)
+	got := m.Finish()
+	if got.ColdMisses != 1 || got.Misses() != 1 {
+		t.Fatalf("metrics = %v", got)
+	}
+	if got.Accesses != 2 {
+		t.Fatalf("accesses = %d", got.Accesses)
+	}
+	if got.SharedData != 0 {
+		t.Fatalf("shared = %d", got.SharedData)
+	}
+}
+
+func TestCoherenceInvalidationAndMiss(t *testing.T) {
+	m := mustMachine(t, DefaultConfig(2))
+	m.Access(0, "X", false, false) // P0 reads: cold miss
+	m.Access(1, "X", true, false)  // P1 writes: cold miss + invalidate P0
+	m.Access(0, "X", false, false) // P0 reads again: coherence miss
+	got := m.Finish()
+	if got.ColdMisses != 2 {
+		t.Errorf("cold = %d, want 2", got.ColdMisses)
+	}
+	if got.CoherenceMisses != 1 {
+		t.Errorf("coherence = %d, want 1", got.CoherenceMisses)
+	}
+	if got.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", got.Invalidations)
+	}
+	if got.SharedData != 1 {
+		t.Errorf("shared = %d, want 1", got.SharedData)
+	}
+}
+
+func TestWriteUpgradeInvalidatesSharers(t *testing.T) {
+	m := mustMachine(t, DefaultConfig(3))
+	m.Access(0, "X", false, false)
+	m.Access(1, "X", false, false)
+	m.Access(2, "X", false, false)
+	m.Access(0, "X", true, false) // upgrade: invalidates P1, P2
+	got := m.Finish()
+	if got.Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", got.Invalidations)
+	}
+	if got.Misses() != 3 {
+		t.Errorf("misses = %d, want 3 (the upgrade hits)", got.Misses())
+	}
+}
+
+func TestReadOfDirtyLineCausesWriteback(t *testing.T) {
+	m := mustMachine(t, DefaultConfig(2))
+	m.Access(0, "X", true, false) // P0 dirty
+	base := m.Finish().NetworkTraffic
+	m.Access(1, "X", false, false) // P1 read: fill + writeback
+	got := m.Finish()
+	if got.NetworkTraffic != base+2 {
+		t.Errorf("traffic = %d, want %d", got.NetworkTraffic, base+2)
+	}
+}
+
+func TestAtomicTreatedAsWrite(t *testing.T) {
+	// Appendix A: synchronizing reads are writes to the coherence system.
+	m := mustMachine(t, DefaultConfig(2))
+	m.Access(0, "C", false, true) // atomic read → exclusive on P0
+	m.Access(1, "C", false, true) // atomic read on P1 → invalidates P0
+	got := m.Finish()
+	if got.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", got.Invalidations)
+	}
+}
+
+func TestAtomicCostsMore(t *testing.T) {
+	cfg := DefaultConfig(1)
+	m1 := mustMachine(t, cfg)
+	m1.Access(0, "X", true, false)
+	plain := m1.Finish().Cost
+
+	m2 := mustMachine(t, cfg)
+	m2.Access(0, "X", true, true)
+	atomic := m2.Finish().Cost
+	if atomic <= plain {
+		t.Errorf("atomic cost %v not above plain %v", atomic, plain)
+	}
+}
+
+func TestFiniteCacheCapacityMisses(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.CacheLines = 2
+	m := mustMachine(t, cfg)
+	m.Access(0, "A", false, false)
+	m.Access(0, "B", false, false)
+	m.Access(0, "C", false, false) // evicts A
+	m.Access(0, "A", false, false) // capacity miss
+	got := m.Finish()
+	if got.ColdMisses != 3 {
+		t.Errorf("cold = %d, want 3", got.ColdMisses)
+	}
+	if got.CapacityMisses != 1 {
+		t.Errorf("capacity = %d, want 1", got.CapacityMisses)
+	}
+}
+
+func TestLRUOrderRespectsTouches(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.CacheLines = 2
+	m := mustMachine(t, cfg)
+	m.Access(0, "A", false, false)
+	m.Access(0, "B", false, false)
+	m.Access(0, "A", false, false) // A now MRU
+	m.Access(0, "C", false, false) // evicts B
+	m.Access(0, "A", false, false) // still resident: hit
+	got := m.Finish()
+	if got.Misses() != 3 {
+		t.Errorf("misses = %d, want 3", got.Misses())
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	if _, err := New(Config{Procs: 0}); err == nil {
+		t.Error("0 procs accepted")
+	}
+	if _, err := New(Config{Procs: 1, CacheLines: -1}); err == nil {
+		t.Error("negative cache accepted")
+	}
+}
+
+func TestDatumKey(t *testing.T) {
+	if got := DatumKey("A", []int64{1, -2}); got != "A[1,-2]" {
+		t.Errorf("key = %q", got)
+	}
+	if DatumKey("A", []int64{1, 2}) == DatumKey("A", []int64{12}) {
+		t.Error("ambiguous keys")
+	}
+}
+
+// --- End-to-end nest simulations reproducing the paper's Example 2. ---
+
+func runExample2(t *testing.T, extents []int64) Metrics {
+	t.Helper()
+	n := loopir.MustParse(paperex.Example2, nil)
+	space := tile.BoundsOf(n)
+	tl, err := tile.RectTilingFor(space, extents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := tile.Assign(tl, space, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustMachine(t, DefaultConfig(100))
+	if err := RunNest(m, n, assign.ProcOf); err != nil {
+		t.Fatal(err)
+	}
+	return m.Finish()
+}
+
+func TestExample2PartitionA(t *testing.T) {
+	// Partition a (Figure 3): 100×1 column strips; 104 B-misses + 100
+	// A-misses per tile, and ZERO inter-processor sharing.
+	got := runExample2(t, []int64{100, 1})
+	if got.MissesPerProc() != 204 {
+		t.Errorf("misses/proc = %v, want 204", got.MissesPerProc())
+	}
+	if got.SharedData != 0 {
+		t.Errorf("shared data = %d, want 0 (comm-free partition)", got.SharedData)
+	}
+	if got.CoherenceMisses != 0 || got.Invalidations != 0 {
+		t.Errorf("coherence events on a comm-free partition: %v", got)
+	}
+}
+
+func TestExample2PartitionB(t *testing.T) {
+	// Partition b: 10×10 blocks; 140 B-misses + 100 A-misses per tile,
+	// with data shared between neighboring tiles.
+	got := runExample2(t, []int64{10, 10})
+	if got.MissesPerProc() != 240 {
+		t.Errorf("misses/proc = %v, want 240", got.MissesPerProc())
+	}
+	if got.SharedData == 0 {
+		t.Error("block partition should share boundary data")
+	}
+}
+
+func TestExample2SimMatchesFootprintModel(t *testing.T) {
+	// The simulator's cold misses equal the exact footprint per tile
+	// summed over tiles — the analysis' central claim.
+	a := runExample2(t, []int64{100, 1})
+	b := runExample2(t, []int64{10, 10})
+	if a.ColdMisses != 204*100 {
+		t.Errorf("partition a cold misses = %d, want %d", a.ColdMisses, 204*100)
+	}
+	if b.ColdMisses != 240*100 {
+		t.Errorf("partition b cold misses = %d, want %d", b.ColdMisses, 240*100)
+	}
+}
+
+func TestDoseqSteadyStateCoherence(t *testing.T) {
+	// Figure 9: with an outer time loop, partition-boundary data bounces
+	// between processors every epoch; a comm-free partition stays quiet.
+	src := `
+doseq (t, 1, 3)
+  doall (i, 1, 16)
+    A[i] = A[i-1] + A[i+1]
+  enddoall
+enddoseq`
+	n := loopir.MustParse(src, nil)
+	space := tile.BoundsOf(n)
+	tl, err := tile.RectTilingFor(space, []int64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := tile.Assign(tl, space, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustMachine(t, DefaultConfig(4))
+	if err := RunNest(m, n, assign.ProcOf); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Finish()
+	if got.CoherenceMisses == 0 {
+		t.Error("stencil across tile boundaries must coherence-miss every epoch")
+	}
+	// Epoch 1 has only cold misses; epochs 2-3 add coherence misses at
+	// the 3 interior boundaries (2 boundary elements each side).
+	if got.ColdMisses == 0 || got.ColdMisses >= got.Accesses {
+		t.Errorf("cold = %d of %d accesses", got.ColdMisses, got.Accesses)
+	}
+}
+
+func TestRunNestBadAssignment(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 1, 4) A[i] = 0 enddoall`, nil)
+	m := mustMachine(t, DefaultConfig(2))
+	err := RunNest(m, n, func(p []int64) int { return 5 })
+	if err == nil {
+		t.Fatal("out-of-range processor accepted")
+	}
+}
+
+func TestPerProcCounts(t *testing.T) {
+	got := runExample2(t, []int64{100, 1})
+	for p, c := range got.PerProc {
+		if c != 204 {
+			t.Fatalf("proc %d misses = %d, want 204", p, c)
+		}
+	}
+}
+
+func BenchmarkSimExample2Blocks(b *testing.B) {
+	n := loopir.MustParse(paperex.Example2, nil)
+	space := tile.BoundsOf(n)
+	tl, _ := tile.RectTilingFor(space, []int64{10, 10})
+	assign, _ := tile.Assign(tl, space, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := New(DefaultConfig(100))
+		if err := RunNest(m, n, assign.ProcOf); err != nil {
+			b.Fatal(err)
+		}
+		_ = m.Finish()
+	}
+}

@@ -1,0 +1,188 @@
+package cachesim
+
+import (
+	"testing"
+
+	"looppart/internal/layout"
+	"looppart/internal/loopir"
+	"looppart/internal/paperex"
+	"looppart/internal/tile"
+)
+
+func runLines(t *testing.T, src string, params map[string]int64, ext []int64, procs int, lineSize int64) Metrics {
+	t.Helper()
+	n := loopir.MustParse(src, params)
+	space := tile.BoundsOf(n)
+	tl, err := tile.RectTilingFor(space, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := tile.Assign(tl, space, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := layout.MapNest(n, lineSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mustMachine(t, DefaultConfig(procs))
+	if err := RunNestLines(m, n, assign.ProcOf, mm); err != nil {
+		t.Fatal(err)
+	}
+	return m.Finish()
+}
+
+func TestUnitLinesMatchElementSimulation(t *testing.T) {
+	// Line size 1 must reproduce the element-granular results exactly
+	// (Example 2's 204 and 240 misses per processor).
+	a := runLines(t, paperex.Example2, nil, []int64{100, 1}, 100, 1)
+	if a.MissesPerProc() != 204 {
+		t.Fatalf("unit-line partition a misses = %v", a.MissesPerProc())
+	}
+	b := runLines(t, paperex.Example2, nil, []int64{10, 10}, 100, 1)
+	if b.MissesPerProc() != 240 {
+		t.Fatalf("unit-line partition b misses = %v", b.MissesPerProc())
+	}
+}
+
+func TestLongerLinesReduceMisses(t *testing.T) {
+	// A row-major stencil read sequentially gains spatial locality:
+	// misses drop roughly by the line size along the storage dimension.
+	src := `
+doall (i, 1, 32)
+  doall (j, 1, 32)
+    A[i,j] = B[i,j-1] + B[i,j+1]
+  enddoall
+enddoall`
+	m1 := runLines(t, src, nil, []int64{8, 32}, 4, 1)
+	m4 := runLines(t, src, nil, []int64{8, 32}, 4, 4)
+	m8 := runLines(t, src, nil, []int64{8, 32}, 4, 8)
+	if !(m8.Misses() < m4.Misses() && m4.Misses() < m1.Misses()) {
+		t.Fatalf("misses not decreasing with line size: %d, %d, %d",
+			m1.Misses(), m4.Misses(), m8.Misses())
+	}
+	// Lower bound: distinct lines touched ≈ footprint/lineSize.
+	if m4.Misses() > m1.Misses()/2 {
+		t.Fatalf("line size 4 saved too little: %d vs %d", m4.Misses(), m1.Misses())
+	}
+}
+
+func TestFalseSharingAppearsWithLongLines(t *testing.T) {
+	// Column-strip tiles of a row-major array write adjacent elements of
+	// the same line from different processors: with unit lines there is
+	// no sharing; with long lines the boundary lines bounce (false
+	// sharing), visible as invalidations.
+	src := `
+doall (i, 1, 16)
+  doall (j, 1, 16)
+    A[i,j] = A[i,j] + 1
+  enddoall
+enddoall`
+	unit := runLines(t, src, nil, []int64{16, 4}, 4, 1)
+	long := runLines(t, src, nil, []int64{16, 4}, 4, 8)
+	if unit.Invalidations != 0 {
+		t.Fatalf("unit lines should have no invalidations, got %d", unit.Invalidations)
+	}
+	if long.Invalidations == 0 {
+		t.Fatal("long lines across column strips must false-share")
+	}
+}
+
+func TestReplayPointsOrderingMatters(t *testing.T) {
+	// §2.2: with a small cache, subdividing the tile (blocked order)
+	// preserves reuse that a long row scan evicts.
+	src := `
+doall (i, 1, 24)
+  doall (j, 1, 24)
+    A[i,j] = B[i-1,j] + B[i+1,j] + B[i,j-1] + B[i,j+1]
+  enddoall
+enddoall`
+	n := loopir.MustParse(src, nil)
+
+	var rowOrder [][]int64
+	tile.BoundsOf(n).ForEach(func(p []int64) bool {
+		q := append([]int64(nil), p...)
+		rowOrder = append(rowOrder, q)
+		return true
+	})
+	// Blocked order: 6×6 subtiles.
+	var blocked [][]int64
+	for bi := int64(1); bi <= 24; bi += 6 {
+		for bj := int64(1); bj <= 24; bj += 6 {
+			for i := bi; i < bi+6; i++ {
+				for j := bj; j < bj+6; j++ {
+					blocked = append(blocked, []int64{i, j})
+				}
+			}
+		}
+	}
+	run := func(points [][]int64) Metrics {
+		cfg := DefaultConfig(1)
+		cfg.CacheLines = 64 // far smaller than the ~1250-element footprint
+		m := mustMachine(t, cfg)
+		if err := ReplayPoints(m, n, 0, points, nil); err != nil {
+			t.Fatal(err)
+		}
+		return m.Finish()
+	}
+	rowM := run(rowOrder)
+	blockM := run(blocked)
+	if blockM.Misses() >= rowM.Misses() {
+		t.Fatalf("blocked order %d misses not below row order %d", blockM.Misses(), rowM.Misses())
+	}
+	if blockM.CapacityMisses >= rowM.CapacityMisses {
+		t.Fatalf("blocked capacity misses %d not below row %d", blockM.CapacityMisses, rowM.CapacityMisses)
+	}
+}
+
+func TestReplayPointsErrors(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 1, 4) A[i] = 0 enddoall`, nil)
+	m := mustMachine(t, DefaultConfig(2))
+	if err := ReplayPoints(m, n, 5, [][]int64{{1}}, nil); err == nil {
+		t.Fatal("bad proc accepted")
+	}
+	if err := ReplayPoints(m, n, 0, [][]int64{{1, 2}}, nil); err == nil {
+		t.Fatal("bad point rank accepted")
+	}
+}
+
+func TestRunNestLinesDoseq(t *testing.T) {
+	m := mustMachine(t, DefaultConfig(2))
+	n := loopir.MustParse(`
+doseq (t, 1, 2)
+  doall (i, 1, 8)
+    A[i] = A[i] + 1
+  enddoall
+enddoseq`, nil)
+	mm, err := layout.MapNest(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := tile.BoundsOf(n)
+	tl, _ := tile.RectTilingFor(space, []int64{4})
+	assign, _ := tile.Assign(tl, space, 2)
+	if err := RunNestLines(m, n, assign.ProcOf, mm); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Finish()
+	// 8 elements on 2 lines (4 elements each); 2 procs × 1 line each
+	// cold; second epoch hits.
+	if got.ColdMisses != 2 {
+		t.Fatalf("cold = %d, want 2", got.ColdMisses)
+	}
+}
+
+func BenchmarkRunNestLines(b *testing.B) {
+	n := loopir.MustParse(paperex.Example2, nil)
+	space := tile.BoundsOf(n)
+	tl, _ := tile.RectTilingFor(space, []int64{10, 10})
+	assign, _ := tile.Assign(tl, space, 100)
+	mm, _ := layout.MapNest(n, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := New(DefaultConfig(100))
+		if err := RunNestLines(m, n, assign.ProcOf, mm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"looppart/internal/loopir"
+	"looppart/internal/paperex"
+)
+
+func layoutsFor(n *loopir.Nest, lo, size int64) map[string]ArrayLayout {
+	out := map[string]ArrayLayout{}
+	for _, acc := range n.Accesses() {
+		r := acc.Ref
+		if _, ok := out[r.Array]; ok {
+			continue
+		}
+		los := make([]int64, r.Dim())
+		sizes := make([]int64, r.Dim())
+		for k := range los {
+			los[k] = lo
+			sizes[k] = size
+		}
+		out[r.Array] = ArrayLayout{Name: r.Array, Lo: los, Size: sizes}
+	}
+	return out
+}
+
+func TestGenerateExample2(t *testing.T) {
+	n := loopir.MustParse(paperex.Example2, nil)
+	prog, err := Generate(n, layoutsFor(n, -10, 512), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prog.Source
+	for _, want := range []string{
+		"package kernel",
+		"func RunTile(lo0, hi0 int, lo1, hi1 int, arrA []float64, arrB []float64)",
+		"for i := lo0; i <= hi0; i++",
+		"for j := lo1; j <= hi1; j++",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+	// Subscript math folded: B[i+j, i-j-1] with lo=-10 → offset +10,
+	// row-major stride 512.
+	if !strings.Contains(src, "arrB[(i+j+10)*512+i-j+9]") {
+		t.Errorf("B subscript not folded as expected:\n%s", src)
+	}
+}
+
+func TestGenerateCustomOptions(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 1, 4) A[i] = A[i] + 1 enddoall`, nil)
+	prog, err := Generate(n, layoutsFor(n, 0, 16), Options{PackageName: "mykern", FuncName: "Stencil"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Source, "package mykern") || !strings.Contains(prog.Source, "func Stencil(") {
+		t.Fatalf("options ignored:\n%s", prog.Source)
+	}
+}
+
+func TestGenerateRejectsDoseq(t *testing.T) {
+	n := loopir.MustParse(`
+doseq (t, 1, 4)
+  doall (i, 1, 4)
+    A[i] = A[i] + 1
+  enddoall
+enddoseq`, nil)
+	if _, err := Generate(n, layoutsFor(n, 0, 16), Options{}); err == nil {
+		t.Fatal("doseq accepted")
+	}
+}
+
+func TestGenerateMissingLayout(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 1, 4) A[i] = B[i] enddoall`, nil)
+	lay := layoutsFor(n, 0, 16)
+	delete(lay, "B")
+	if _, err := Generate(n, lay, Options{}); err == nil {
+		t.Fatal("missing layout accepted")
+	}
+}
+
+func TestGenerateRankMismatch(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 1, 4) A[i] = 1 enddoall`, nil)
+	lay := map[string]ArrayLayout{"A": {Name: "A", Lo: []int64{0, 0}, Size: []int64{4, 4}}}
+	if _, err := Generate(n, lay, Options{}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+}
+
+func TestGenerateAtomicComment(t *testing.T) {
+	n := loopir.MustParse(paperex.MatmulSync, map[string]int64{"N": 4})
+	prog, err := Generate(n, layoutsFor(n, 1, 8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Source, "synchronizing accumulate") {
+		t.Error("atomic marker lost")
+	}
+}
+
+func TestGenerateScaledAndConstSubscripts(t *testing.T) {
+	n := loopir.MustParse(`
+doall (i, 1, 4)
+  doall (j, 1, 4)
+    C[i, 2*i, i+2*j-1] = C[i, 2*i, i+2*j-1] + 1
+  enddoall
+enddoall`, nil)
+	prog, err := Generate(n, layoutsFor(n, 0, 32), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Source, "2*i") {
+		t.Errorf("scaled subscript lost:\n%s", prog.Source)
+	}
+}
+
+func TestGenerateVarAndConstRHS(t *testing.T) {
+	n := loopir.MustParse(`
+doall (i, 1, 4)
+  A[i] = i * 2 + 7
+enddoall`, nil)
+	prog, err := Generate(n, layoutsFor(n, 0, 16), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Source, "float64(i)") || !strings.Contains(prog.Source, "float64(7)") {
+		t.Errorf("RHS lowering wrong:\n%s", prog.Source)
+	}
+}
+
+func TestAffineCode(t *testing.T) {
+	e := loopir.NewAffine(-1).AddTerm("i", 1).AddTerm("j", 2)
+	if got := affineCode(e, 0); got != "i+2*j-1" {
+		t.Errorf("affineCode = %q", got)
+	}
+	if got := affineCode(e, 1); got != "i+2*j" {
+		t.Errorf("affineCode+1 = %q", got)
+	}
+	if got := affineCode(loopir.NewAffine(0), 0); got != "0" {
+		t.Errorf("zero = %q", got)
+	}
+	neg := loopir.NewAffine(0).AddTerm("i", -1)
+	if got := affineCode(neg, 0); got != "-i" {
+		t.Errorf("neg = %q", got)
+	}
+}
+
+func BenchmarkGenerateExample10(b *testing.B) {
+	n := loopir.MustParse(paperex.Example10, map[string]int64{"N": 64})
+	lay := layoutsFor(n, -10, 256)
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(n, lay, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"looppart/internal/intmat"
+	"looppart/internal/loopir"
+	"looppart/internal/paperex"
+	"looppart/internal/tile"
+)
+
+func TestGenerateSkewedParallelogram(t *testing.T) {
+	// Example 3's skewed tiles: edge vectors along the (1,3) reuse
+	// direction.
+	n := loopir.MustParse(paperex.Example3, map[string]int64{"N": 24})
+	space := tile.BoundsOf(n)
+	tl := tile.Parallelepiped(intmat.FromRows([][]int64{{3, 9}, {0, 8}}))
+	prog, err := GenerateSkewed(n, tl, space, layoutsFor(n, -30, 256), Options{FuncName: "SkewTile"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := prog.Source
+	for _, want := range []string{
+		"func SkewTile(c0, c1 int, arrA []float64, arrB []float64)",
+		"func ceilDiv(", "func floorDiv(", "func maxInt(", "func minInt(",
+		"for i := ", "for j := ",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+	// Inner loop bounds must reference the outer loop variable (the
+	// skewed-tile signature) or the coords.
+	if !strings.Contains(src, "c0") || !strings.Contains(src, "c1") {
+		t.Errorf("tile coordinates unused:\n%s", src)
+	}
+}
+
+func TestGenerateSkewedRectReducesToSimpleBounds(t *testing.T) {
+	n := loopir.MustParse(`
+doall (i, 0, 31)
+  doall (j, 0, 31)
+    A[i,j] = A[i,j] + 1
+  enddoall
+enddoall`, nil)
+	space := tile.BoundsOf(n)
+	prog, err := GenerateSkewed(n, tile.Rect(8, 8), space, layoutsFor(n, 0, 64), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rectangular tiles have no cross-variable terms: j's bounds should
+	// not mention i.
+	for _, line := range strings.Split(prog.Source, "\n") {
+		if strings.Contains(line, "for j :=") && strings.Contains(line, "i") &&
+			!strings.Contains(line, "minInt") == false {
+			// Bounds may mention maxInt/minInt but not the variable i.
+			trimmed := strings.ReplaceAll(line, "ceilDiv", "")
+			trimmed = strings.ReplaceAll(trimmed, "floorDiv", "")
+			trimmed = strings.ReplaceAll(trimmed, "minInt", "")
+			trimmed = strings.ReplaceAll(trimmed, "maxInt", "")
+			if strings.Contains(trimmed, "*i") || strings.Contains(trimmed, "+i") || strings.Contains(trimmed, "-i") {
+				t.Errorf("rect tile inner bound depends on i: %s", line)
+			}
+		}
+	}
+}
+
+func TestGenerateSkewedErrors(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 0, 7) A[i] = 0 enddoall`, nil)
+	space := tile.BoundsOf(n)
+	// Dimension mismatch.
+	if _, err := GenerateSkewed(n, tile.Rect(4, 4), space, layoutsFor(n, 0, 16), Options{}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	// Doseq rejected.
+	n2 := loopir.MustParse(`
+doseq (t, 1, 2)
+  doall (i, 0, 7)
+    A[i] = 0
+  enddoall
+enddoseq`, nil)
+	if _, err := GenerateSkewed(n2, tile.Rect(4), tile.BoundsOf(n2), layoutsFor(n2, 0, 16), Options{}); err == nil {
+		t.Error("doseq accepted")
+	}
+	// Missing layout.
+	lay := layoutsFor(n, 0, 16)
+	delete(lay, "A")
+	if _, err := GenerateSkewed(n, tile.Rect(4), space, lay, Options{}); err == nil {
+		t.Error("missing layout accepted")
+	}
+}
+
+// TestSkewBoundsSemantics interprets the same symbolic bounds the code
+// generator renders and checks they enumerate exactly the tile's
+// iterations, for several tiles of a skewed partition.
+func TestSkewBoundsSemantics(t *testing.T) {
+	n := loopir.MustParse(paperex.Example3, map[string]int64{"N": 12})
+	space := tile.BoundsOf(n)
+	l := intmat.FromRows([][]int64{{3, 9}, {0, 4}})
+	tt := tile.Parallelepiped(l)
+	nest, err := tile.LoopBoundsSymbolic(tt, space.Lo, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiling, err := tile.NewTiling(tt, space.Lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect the distinct tile coords over the space.
+	coords := map[[2]int64]bool{}
+	space.ForEach(func(p []int64) bool {
+		c := tiling.Coord(p)
+		coords[[2]int64{c[0], c[1]}] = true
+		return true
+	})
+	totalFromBounds := 0
+	for c := range coords {
+		outer := []int64{c[0], c[1]}
+		lo0, hi0 := nest.Range(2, outer)
+		for i := lo0; i <= hi0; i++ {
+			lo1, hi1 := nest.Range(3, append(outer, i))
+			for j := lo1; j <= hi1; j++ {
+				got := tiling.Coord([]int64{i, j})
+				if got[0] != c[0] || got[1] != c[1] {
+					t.Fatalf("point (%d,%d) enumerated for tile %v but belongs to %v", i, j, c, got)
+				}
+				totalFromBounds++
+			}
+		}
+	}
+	if int64(totalFromBounds) != space.Size() {
+		t.Fatalf("symbolic bounds enumerated %d points, space has %d", totalFromBounds, space.Size())
+	}
+}
+
+func BenchmarkGenerateSkewed(b *testing.B) {
+	n := loopir.MustParse(paperex.Example3, map[string]int64{"N": 24})
+	space := tile.BoundsOf(n)
+	tl := tile.Parallelepiped(intmat.FromRows([][]int64{{3, 9}, {0, 8}}))
+	lay := layoutsFor(n, -30, 256)
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateSkewed(n, tl, space, lay, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package datapart implements data partitioning and alignment (§4,
+// footnote 2): distributing array tiles across the memory modules of a
+// distributed-memory machine so that cache misses from each loop tile are
+// served by the local module.
+//
+// The strategy is the paper's: partition each array with the same aspect
+// ratios as the loop tiles of the nests that reference it, then align —
+// assign the data tile to the node running the loop tile that makes the
+// most references to it. For a class (G, {a_r}) the loop tile containing
+// iteration i touches data i·G + a_r; anchoring at the median offset ā
+// (the a⁺ formulation) sends datum d to the processor of the iteration
+// solving i·G = d − ā.
+package datapart
+
+import (
+	"fmt"
+	"sort"
+
+	"looppart/internal/footprint"
+	"looppart/internal/intmat"
+	"looppart/internal/machine"
+	"looppart/internal/rational"
+	"looppart/internal/tile"
+)
+
+// Aligner computes aligned placements for the arrays of an analysis.
+type Aligner struct {
+	analysis *footprint.Analysis
+	assign   *tile.Assignment
+	// perArray maps array name → alignment data.
+	perArray map[string]*arrayAlign
+}
+
+type arrayAlign struct {
+	// ginv is the rational inverse of the reduced G of the array's
+	// dominant class.
+	ginv intmat.RatMat
+	cols []int
+	// anchor is the median offset vector projected to the kept columns.
+	anchor []int64
+	// fallback placement for arrays with no invertible class.
+	fallback machine.Placement
+}
+
+// NewAligner builds the aligned placement for the given loop-tile
+// assignment. Arrays whose reference classes have no square reduced G fall
+// back to the provided placement (typically RoundRobin).
+func NewAligner(a *footprint.Analysis, assign *tile.Assignment, fallback machine.Placement) (*Aligner, error) {
+	if fallback == nil {
+		return nil, fmt.Errorf("datapart: nil fallback placement")
+	}
+	al := &Aligner{analysis: a, assign: assign, perArray: map[string]*arrayAlign{}}
+	// Choose, per array, the class with the most references (dominant
+	// use) whose reduced G is square and nonsingular.
+	best := map[string]footprint.Class{}
+	for _, c := range a.Classes {
+		gr := c.Reduced.G
+		if gr.Rows() != gr.Cols() || !gr.IsNonsingular() {
+			continue
+		}
+		if cur, ok := best[c.Array]; !ok || len(c.Refs) > len(cur.Refs) {
+			best[c.Array] = c
+		}
+	}
+	for name, c := range best {
+		inv, ok := c.Reduced.G.ToRat().Inverse()
+		if !ok {
+			continue
+		}
+		al.perArray[name] = &arrayAlign{
+			ginv:     inv,
+			cols:     c.Reduced.Cols,
+			anchor:   medianOffsets(c),
+			fallback: fallback,
+		}
+	}
+	for _, name := range a.Nest.Arrays() {
+		if _, ok := al.perArray[name]; !ok {
+			al.perArray[name] = &arrayAlign{fallback: fallback}
+		}
+	}
+	return al, nil
+}
+
+// medianOffsets returns the per-kept-column median of the class offsets —
+// the a⁺ anchor of footnote 2.
+func medianOffsets(c footprint.Class) []int64 {
+	out := make([]int64, len(c.Reduced.Cols))
+	for k, col := range c.Reduced.Cols {
+		vals := make([]int64, len(c.Refs))
+		for i, r := range c.Refs {
+			vals[i] = r.A[col]
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		out[k] = vals[len(vals)/2]
+	}
+	return out
+}
+
+// Placement returns the aligned placement function.
+func (al *Aligner) Placement() machine.Placement {
+	return func(array string, index []int64) int {
+		aa, ok := al.perArray[array]
+		if !ok || aa.ginv.Rows() == 0 {
+			if aa != nil {
+				return aa.fallback(array, index)
+			}
+			return 0
+		}
+		// Project the datum to the kept columns and solve i·G' = d − ā.
+		l := aa.ginv.Rows()
+		rel := make([]rational.Rat, l)
+		for k, col := range aa.cols {
+			rel[k] = rational.FromInt(index[col] - aa.anchor[k])
+		}
+		iter := make([]int64, l)
+		for j := 0; j < l; j++ {
+			s := rational.Zero
+			for k := 0; k < l; k++ {
+				s = s.Add(rel[k].Mul(aa.ginv.At(k, j)))
+			}
+			iter[j] = s.Floor()
+		}
+		// Clamp into the iteration space and hand to the loop-tile
+		// assignment: the datum lives with the tile that (mostly) uses it.
+		space := al.assign.Space
+		for k := range iter {
+			if iter[k] < space.Lo[k] {
+				iter[k] = space.Lo[k]
+			}
+			if iter[k] > space.Hi[k] {
+				iter[k] = space.Hi[k]
+			}
+		}
+		return al.assign.ProcOf(iter)
+	}
+}
+
+// LocalFraction is a reporting helper: the fraction of misses served
+// locally.
+func LocalFraction(local, remote int64) float64 {
+	total := local + remote
+	if total == 0 {
+		return 1
+	}
+	return float64(local) / float64(total)
+}

@@ -1,0 +1,223 @@
+package datapart
+
+import (
+	"testing"
+
+	"looppart/internal/cachesim"
+	"looppart/internal/footprint"
+	"looppart/internal/loopir"
+	"looppart/internal/machine"
+	"looppart/internal/paperex"
+	"looppart/internal/tile"
+)
+
+func setup(t testing.TB, src string, params map[string]int64, ext []int64, procs int) (*footprint.Analysis, *tile.Assignment) {
+	t.Helper()
+	n, err := loopir.Parse(src, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := footprint.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := tile.BoundsOf(n)
+	tl, err := tile.RectTilingFor(space, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := tile.Assign(tl, space, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, assign
+}
+
+func TestAlignedPlacementIdentityClass(t *testing.T) {
+	// Simple stencil: A[i,j] written, B neighbors read. Aligned placement
+	// must home A[i,j] and B[i,j] on the processor executing (i,j).
+	src := `
+doall (i, 1, 16)
+  doall (j, 1, 16)
+    A[i,j] = B[i-1,j] + B[i+1,j]
+  enddoall
+enddoall`
+	a, assign := setup(t, src, nil, []int64{8, 8}, 4)
+	al, err := NewAligner(a, assign, machine.RoundRobin(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := al.Placement()
+	for _, p := range [][]int64{{1, 1}, {8, 8}, {9, 1}, {16, 16}} {
+		want := assign.ProcOf(p)
+		if got := place("A", p); got != want {
+			t.Errorf("A%v homed on %d, want %d", p, got, want)
+		}
+	}
+	// B's anchor is the median of offsets (−1,0),(1,0) → (1,0): datum
+	// B[i+1,j] lands with iteration (i,j).
+	if got, want := place("B", []int64{9, 4}), assign.ProcOf([]int64{8, 4}); got != want {
+		t.Errorf("B[9,4] homed on %d, want %d", got, want)
+	}
+}
+
+func TestAlignedBeatsRoundRobinLocally(t *testing.T) {
+	// E12's claim: aligned data tiles give a (much) higher local-miss
+	// fraction than hashed placement on the mesh.
+	src := `
+doall (i, 1, 32)
+  doall (j, 1, 32)
+    A[i,j] = B[i-1,j] + B[i+1,j] + B[i,j-1] + B[i,j+1]
+  enddoall
+enddoall`
+	run := func(place machine.Placement) cachesim.Metrics {
+		a, assign := setup(t, src, nil, []int64{16, 16}, 4)
+		mesh, err := machine.SquarishMesh(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := machine.DefaultCostModel()
+		cfg := cachesim.DefaultConfig(4)
+		cfg.MissCost = func(proc int, datum string, atomic bool) (float64, int64) {
+			arr, idx := parseDatum(t, datum)
+			return cost.MissCost(mesh, proc, place(arr, idx), atomic)
+		}
+		m, err := cachesim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cachesim.RunNest(m, a.Nest, assign.ProcOf); err != nil {
+			t.Fatal(err)
+		}
+		return m.Finish()
+	}
+
+	a, assign := setup(t, src, nil, []int64{16, 16}, 4)
+	al, err := NewAligner(a, assign, machine.RoundRobin(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned := run(al.Placement())
+	hashed := run(machine.RoundRobin(4))
+
+	fa := LocalFraction(aligned.LocalMisses, aligned.RemoteMisses)
+	fh := LocalFraction(hashed.LocalMisses, hashed.RemoteMisses)
+	if fa <= fh {
+		t.Fatalf("aligned local fraction %.2f not above hashed %.2f", fa, fh)
+	}
+	if fa < 0.9 {
+		t.Fatalf("aligned local fraction %.2f; expected ≥ 0.9 for interior-dominated tiles", fa)
+	}
+	if aligned.Cost >= hashed.Cost {
+		t.Fatalf("aligned cost %v not below hashed %v", aligned.Cost, hashed.Cost)
+	}
+}
+
+func TestAlignerFallbackForNonInvertible(t *testing.T) {
+	// A[i+j] has no square reduced G → falls back to the provided
+	// placement.
+	src := `
+doall (i, 1, 8)
+  doall (j, 1, 8)
+    B[i,j] = A[i+j]
+  enddoall
+enddoall`
+	a, assign := setup(t, src, nil, []int64{4, 4}, 4)
+	fallbackHits := 0
+	fallback := func(arr string, idx []int64) int {
+		fallbackHits++
+		return 0
+	}
+	al, err := NewAligner(a, assign, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := al.Placement()
+	_ = place("A", []int64{5})
+	if fallbackHits != 1 {
+		t.Fatalf("fallback used %d times, want 1", fallbackHits)
+	}
+	// B is invertible (identity): no fallback.
+	_ = place("B", []int64{3, 3})
+	if fallbackHits != 1 {
+		t.Fatal("B should not use fallback")
+	}
+}
+
+func TestNewAlignerNilFallback(t *testing.T) {
+	a, assign := setup(t, paperex.Example2, nil, []int64{100, 1}, 100)
+	if _, err := NewAligner(a, assign, nil); err == nil {
+		t.Fatal("nil fallback accepted")
+	}
+}
+
+func TestMedianAnchorExample8(t *testing.T) {
+	// B offsets: (−1,0,1), (0,1,0), (1,−2,−3): medians (0,0,0).
+	a, assign := setup(t, paperex.Example8, map[string]int64{"N": 8}, []int64{4, 4, 4}, 8)
+	al, err := NewAligner(a, assign, machine.RoundRobin(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	place := al.Placement()
+	// With zero anchor, B[i,j,k] lives with iteration (i,j,k).
+	if got, want := place("B", []int64{3, 3, 3}), assign.ProcOf([]int64{3, 3, 3}); got != want {
+		t.Errorf("B[3,3,3] on %d, want %d", got, want)
+	}
+}
+
+func TestLocalFraction(t *testing.T) {
+	if LocalFraction(3, 1) != 0.75 {
+		t.Fatal("fraction wrong")
+	}
+	if LocalFraction(0, 0) != 1 {
+		t.Fatal("empty fraction should be 1")
+	}
+}
+
+// parseDatum decodes cachesim.DatumKey("A", idx) back into parts.
+func parseDatum(t testing.TB, datum string) (string, []int64) {
+	t.Helper()
+	open := -1
+	for i, r := range datum {
+		if r == '[' {
+			open = i
+			break
+		}
+	}
+	if open < 0 || datum[len(datum)-1] != ']' {
+		t.Fatalf("bad datum %q", datum)
+	}
+	name := datum[:open]
+	var idx []int64
+	v, sign, started := int64(0), int64(1), false
+	for _, r := range datum[open+1 : len(datum)-1] {
+		switch {
+		case r == ',':
+			idx = append(idx, sign*v)
+			v, sign, started = 0, 1, false
+		case r == '-':
+			sign = -1
+		default:
+			v = v*10 + int64(r-'0')
+			started = true
+		}
+	}
+	if started || len(idx) == 0 {
+		idx = append(idx, sign*v)
+	}
+	return name, idx
+}
+
+func BenchmarkAlignedPlacement(b *testing.B) {
+	a, assign := setup(b, paperex.Example8, map[string]int64{"N": 16}, []int64{8, 8, 8}, 8)
+	al, err := NewAligner(a, assign, machine.RoundRobin(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	place := al.Placement()
+	idx := []int64{5, 6, 7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = place("B", idx)
+	}
+}

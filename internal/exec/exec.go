@@ -1,0 +1,367 @@
+// Package exec runs partitioned loop nests for real: each processor of the
+// plan becomes a goroutine executing its tile's iterations over dense
+// float64 arrays, with a barrier between sequential (doseq) epochs and
+// atomic accumulates for synchronizing references (Appendix A).
+//
+// The executor is the "code generation" end of the pipeline: it
+// demonstrates that the partitions the analysis produces compute the same
+// values as sequential execution, and it provides wall-clock measurements
+// for the benchmark harness.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"looppart/internal/layout"
+	"looppart/internal/loopir"
+)
+
+// Array is a dense multidimensional float64 array with explicit bounds per
+// dimension. Subscripts outside the bounds are clamped into a halo: reads
+// return 0 and writes are dropped. (The paper's loop bounds keep interior
+// references in range; stencils naturally read one or two elements past
+// the edge, which real codes handle with halo cells.)
+type Array struct {
+	Name string
+	Lo   []int64
+	Hi   []int64
+	data []float64
+	// strides for row-major layout.
+	strides []int64
+	mu      []sync.Mutex // striped locks for atomic accumulates
+}
+
+// NewArray allocates an array covering [lo[k], hi[k]] per dimension.
+func NewArray(name string, lo, hi []int64) (*Array, error) {
+	if len(lo) != len(hi) {
+		return nil, fmt.Errorf("exec: bounds rank mismatch")
+	}
+	size := int64(1)
+	strides := make([]int64, len(lo))
+	for k := len(lo) - 1; k >= 0; k-- {
+		if hi[k] < lo[k] {
+			return nil, fmt.Errorf("exec: empty dimension %d", k)
+		}
+		strides[k] = size
+		size *= hi[k] - lo[k] + 1
+	}
+	const maxElems = 1 << 28
+	if size > maxElems {
+		return nil, fmt.Errorf("exec: array %s too large (%d elements)", name, size)
+	}
+	mu := make([]sync.Mutex, 64)
+	return &Array{Name: name, Lo: lo, Hi: hi, data: make([]float64, size), strides: strides, mu: mu}, nil
+}
+
+func (a *Array) offset(idx []int64) (int64, bool) {
+	if len(idx) != len(a.Lo) {
+		return 0, false
+	}
+	var off int64
+	for k := range idx {
+		if idx[k] < a.Lo[k] || idx[k] > a.Hi[k] {
+			return 0, false
+		}
+		off += (idx[k] - a.Lo[k]) * a.strides[k]
+	}
+	return off, true
+}
+
+// At reads an element; out-of-bounds reads return 0 (halo).
+func (a *Array) At(idx []int64) float64 {
+	if off, ok := a.offset(idx); ok {
+		return a.data[off]
+	}
+	return 0
+}
+
+// Set writes an element; out-of-bounds writes are dropped (halo).
+func (a *Array) Set(idx []int64, v float64) {
+	if off, ok := a.offset(idx); ok {
+		a.data[off] = v
+	}
+}
+
+// AtomicAdd accumulates into an element under a striped lock.
+func (a *Array) AtomicAdd(idx []int64, v float64) {
+	off, ok := a.offset(idx)
+	if !ok {
+		return
+	}
+	m := &a.mu[off%int64(len(a.mu))]
+	m.Lock()
+	a.data[off] += v
+	m.Unlock()
+}
+
+// AtomicUpdate applies fn to an element under its stripe lock. fn may read
+// the current value through the store; the lock covers the full
+// read-modify-write.
+func (a *Array) AtomicUpdate(idx []int64, fn func(old float64) float64) {
+	off, ok := a.offset(idx)
+	if !ok {
+		return
+	}
+	m := &a.mu[off%int64(len(a.mu))]
+	m.Lock()
+	a.data[off] = fn(a.data[off])
+	m.Unlock()
+}
+
+// Fill initializes every element with fn(index).
+func (a *Array) Fill(fn func(idx []int64) float64) {
+	idx := make([]int64, len(a.Lo))
+	copy(idx, a.Lo)
+	for {
+		off, _ := a.offset(idx)
+		a.data[off] = fn(idx)
+		k := len(idx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] <= a.Hi[k] {
+				break
+			}
+			idx[k] = a.Lo[k]
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+// Clone deep-copies the array.
+func (a *Array) Clone() *Array {
+	c, _ := NewArray(a.Name, a.Lo, a.Hi)
+	copy(c.data, a.data)
+	return c
+}
+
+// EqualWithin reports whether two arrays agree elementwise within eps.
+func (a *Array) EqualWithin(b *Array, eps float64) bool {
+	if len(a.data) != len(b.data) {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Store is the set of arrays a program runs against.
+type Store map[string]*Array
+
+// StoreFor allocates arrays sized to cover every reference the nest makes,
+// using the same subscript interval analysis as the memory layouts
+// (layout.MapNest), so the executor and the simulators agree on bounds.
+func StoreFor(n *loopir.Nest) (Store, error) {
+	mm, err := layout.MapNest(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	st := Store{}
+	for name, l := range mm.Arrays {
+		arr, err := NewArray(name, l.Lo, l.Hi)
+		if err != nil {
+			return nil, err
+		}
+		st[name] = arr
+	}
+	return st, nil
+}
+
+// evalExpr evaluates an RHS expression for one iteration.
+func evalExpr(e loopir.Expr, st Store, env map[string]int64) float64 {
+	switch t := e.(type) {
+	case loopir.ConstExpr:
+		return float64(t.Value)
+	case loopir.VarExpr:
+		return float64(env[t.Name])
+	case loopir.RefExpr:
+		idx := make([]int64, len(t.Ref.Subs))
+		for k, s := range t.Ref.Subs {
+			idx[k] = s.Eval(env)
+		}
+		arr, ok := st[t.Ref.Array]
+		if !ok {
+			panic(fmt.Sprintf("exec: unknown array %q", t.Ref.Array))
+		}
+		return arr.At(idx)
+	case loopir.BinExpr:
+		l := evalExpr(t.Left, st, env)
+		r := evalExpr(t.Right, st, env)
+		switch t.Op {
+		case '+':
+			return l + r
+		case '-':
+			return l - r
+		case '*':
+			return l * r
+		default:
+			panic(fmt.Sprintf("exec: unknown operator %q", t.Op))
+		}
+	default:
+		panic("exec: unknown expression node")
+	}
+}
+
+// runIteration executes the body statements for one iteration.
+func runIteration(n *loopir.Nest, st Store, env map[string]int64) {
+	for _, s := range n.Body {
+		idx := make([]int64, len(s.LHS.Subs))
+		for k, sub := range s.LHS.Subs {
+			idx[k] = sub.Eval(env)
+		}
+		arr, ok := st[s.LHS.Array]
+		if !ok {
+			panic(fmt.Sprintf("exec: unknown array %q", s.LHS.Array))
+		}
+		switch {
+		case s.Atomic:
+			// l$C[..] = C[..] + expr: accumulates may land in any order
+			// but each must be atomic (Appendix A). When the statement
+			// is a self-accumulate, add the increment under the element
+			// lock; otherwise run the whole read-modify-write locked.
+			if inc, ok := splitAccumulate(s); ok {
+				arr.AtomicAdd(idx, evalExpr(inc, st, env))
+			} else {
+				arr.AtomicUpdate(idx, func(float64) float64 {
+					return evalExpr(s.RHS, st, env)
+				})
+			}
+		default:
+			arr.Set(idx, evalExpr(s.RHS, st, env))
+		}
+	}
+}
+
+// splitAccumulate recognizes `l$X[e] = X[e] + rest` (either operand order)
+// and returns rest.
+func splitAccumulate(s loopir.Stmt) (loopir.Expr, bool) {
+	bin, ok := s.RHS.(loopir.BinExpr)
+	if !ok || bin.Op != '+' {
+		return nil, false
+	}
+	if re, ok := bin.Left.(loopir.RefExpr); ok && sameRef(re.Ref, s.LHS) {
+		return bin.Right, true
+	}
+	if re, ok := bin.Right.(loopir.RefExpr); ok && sameRef(re.Ref, s.LHS) {
+		return bin.Left, true
+	}
+	return nil, false
+}
+
+func sameRef(a, b loopir.Ref) bool {
+	if a.Array != b.Array || len(a.Subs) != len(b.Subs) {
+		return false
+	}
+	for k := range a.Subs {
+		if a.Subs[k].String() != b.Subs[k].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunSequential executes the nest in source order (the reference
+// semantics).
+func RunSequential(n *loopir.Nest, st Store) {
+	seqLoops := n.SeqLoops()
+	var seq func(k int, extra map[string]int64)
+	seq = func(k int, extra map[string]int64) {
+		if k == len(seqLoops) {
+			n.ForEachIteration(extra, func(env map[string]int64) bool {
+				runIteration(n, st, env)
+				return true
+			})
+			return
+		}
+		l := seqLoops[k]
+		for v := l.Lo; v <= l.Hi; v++ {
+			next := cloneEnv(extra)
+			next[l.Var] = v
+			seq(k+1, next)
+		}
+	}
+	seq(0, map[string]int64{})
+}
+
+// RunParallel executes the nest with one goroutine per processor; assign
+// maps each doall iteration point to a processor. A barrier separates
+// doseq epochs. procs is the processor count.
+func RunParallel(n *loopir.Nest, st Store, procs int, assign func(p []int64) int) error {
+	if procs <= 0 {
+		return fmt.Errorf("exec: need at least one processor")
+	}
+	vars := n.DoallVars()
+
+	// Pre-split iterations per processor (once; reused across epochs).
+	work := make([][]map[string]int64, procs)
+	var bad error
+	n.ForEachIteration(nil, func(env map[string]int64) bool {
+		p := make([]int64, len(vars))
+		for k, v := range vars {
+			p[k] = env[v]
+		}
+		proc := assign(p)
+		if proc < 0 || proc >= procs {
+			bad = fmt.Errorf("exec: iteration %v assigned to processor %d of %d", p, proc, procs)
+			return false
+		}
+		work[proc] = append(work[proc], env)
+		return true
+	})
+	if bad != nil {
+		return bad
+	}
+
+	runEpoch := func(extra map[string]int64) {
+		var wg sync.WaitGroup
+		for proc := 0; proc < procs; proc++ {
+			wg.Add(1)
+			go func(items []map[string]int64) {
+				defer wg.Done()
+				for _, env := range items {
+					full := env
+					if len(extra) > 0 {
+						full = cloneEnv(env)
+						for k, v := range extra {
+							full[k] = v
+						}
+					}
+					runIteration(n, st, full)
+				}
+			}(work[proc])
+		}
+		wg.Wait() // barrier after the doall nest
+	}
+
+	seqLoops := n.SeqLoops()
+	var seq func(k int, extra map[string]int64)
+	seq = func(k int, extra map[string]int64) {
+		if k == len(seqLoops) {
+			runEpoch(extra)
+			return
+		}
+		l := seqLoops[k]
+		for v := l.Lo; v <= l.Hi; v++ {
+			next := cloneEnv(extra)
+			next[l.Var] = v
+			seq(k+1, next)
+		}
+	}
+	seq(0, map[string]int64{})
+	return nil
+}
+
+func cloneEnv(env map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package exec
+
+import (
+	"testing"
+
+	"looppart/internal/loopir"
+	"looppart/internal/paperex"
+	"looppart/internal/tile"
+)
+
+func setupStore(t testing.TB, n *loopir.Nest) Store {
+	t.Helper()
+	st, err := StoreFor(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic nontrivial contents.
+	for _, arr := range st {
+		arr.Fill(func(idx []int64) float64 {
+			v := 1.0
+			for k, x := range idx {
+				v += float64(x) * float64(k+1) * 0.5
+			}
+			return v
+		})
+	}
+	return st
+}
+
+func assignFor(t testing.TB, n *loopir.Nest, ext []int64, procs int) func([]int64) int {
+	t.Helper()
+	space := tile.BoundsOf(n)
+	tl, err := tile.RectTilingFor(space, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := tile.Assign(tl, space, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.ProcOf
+}
+
+func TestArrayBasics(t *testing.T) {
+	a, err := NewArray("A", []int64{0, -2}, []int64{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Set([]int64{1, -1}, 42)
+	if got := a.At([]int64{1, -1}); got != 42 {
+		t.Fatalf("At = %v", got)
+	}
+	// Halo semantics.
+	if got := a.At([]int64{99, 0}); got != 0 {
+		t.Fatalf("halo read = %v", got)
+	}
+	a.Set([]int64{99, 0}, 7) // dropped
+	if got := a.At([]int64{99, 0}); got != 0 {
+		t.Fatalf("halo write leaked: %v", got)
+	}
+}
+
+func TestArrayErrors(t *testing.T) {
+	if _, err := NewArray("A", []int64{0}, []int64{0, 1}); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := NewArray("A", []int64{5}, []int64{2}); err == nil {
+		t.Error("empty dimension accepted")
+	}
+}
+
+func TestStoreFor(t *testing.T) {
+	n := loopir.MustParse(paperex.Example2, nil)
+	st, err := StoreFor(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := st["A"]
+	if a.Lo[0] != 101 || a.Hi[0] != 200 || a.Lo[1] != 1 || a.Hi[1] != 100 {
+		t.Fatalf("A bounds = %v..%v", a.Lo, a.Hi)
+	}
+	b := st["B"]
+	// B[i+j, i-j-1] and B[i+j+4, i-j+3]: first dim spans 102..304,
+	// second spans 101-100-1=0 .. 200-1+3=202.
+	if b.Lo[0] != 102 || b.Hi[0] != 304 {
+		t.Fatalf("B dim0 = %d..%d", b.Lo[0], b.Hi[0])
+	}
+	if b.Lo[1] != 0 || b.Hi[1] != 202 {
+		t.Fatalf("B dim1 = %d..%d", b.Lo[1], b.Hi[1])
+	}
+}
+
+func TestStoreForRankConflict(t *testing.T) {
+	n := loopir.MustParse(`
+doall (i, 1, 4)
+  A[i] = A[i,i]
+enddoall`, nil)
+	if _, err := StoreFor(n); err == nil {
+		t.Fatal("rank conflict accepted")
+	}
+}
+
+func TestParallelMatchesSequentialExample2(t *testing.T) {
+	n := loopir.MustParse(paperex.Example2, nil)
+	stSeq := setupStore(t, n)
+	stPar := Store{}
+	for k, v := range stSeq {
+		stPar[k] = v.Clone()
+	}
+	RunSequential(n, stSeq)
+	if err := RunParallel(n, stPar, 100, assignFor(t, n, []int64{10, 10}, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if !stSeq["A"].EqualWithin(stPar["A"], 0) {
+		t.Fatal("parallel A differs from sequential")
+	}
+}
+
+func TestParallelMatchesSequentialDoseqStencil(t *testing.T) {
+	// A valid doall body (each iteration writes only its own element and
+	// reads only B, which no one writes) wrapped in a doseq: epochs
+	// accumulate into A, so a missing barrier or mis-tiled epoch would
+	// change the result.
+	n := loopir.MustParse(`
+doseq (t, 1, 4)
+  doall (i, 1, 32)
+    A[i] = A[i] + B[i-1] + B[i+1]
+  enddoall
+enddoseq`, nil)
+	stSeq := setupStore(t, n)
+	stPar := Store{}
+	for k, v := range stSeq {
+		stPar[k] = v.Clone()
+	}
+	RunSequential(n, stSeq)
+	if err := RunParallel(n, stPar, 4, assignFor(t, n, []int64{8}, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if !stSeq["A"].EqualWithin(stPar["A"], 0) {
+		t.Fatal("parallel doseq result differs from sequential")
+	}
+	// Four epochs accumulated: spot-check one interior element.
+	want := setupStore(t, n)["A"].At([]int64{5}) +
+		4*(stSeq["B"].At([]int64{4})+stSeq["B"].At([]int64{6}))
+	if got := stSeq["A"].At([]int64{5}); got != want {
+		t.Fatalf("A[5] = %v, want %v", got, want)
+	}
+}
+
+func TestMatmulSyncCorrectness(t *testing.T) {
+	// Figure 11: l$C accumulate matmul. Accumulation order varies but
+	// the result is order-independent (sums), so parallel must equal
+	// sequential.
+	n := loopir.MustParse(paperex.MatmulSync, map[string]int64{"N": 8})
+	stSeq := setupStore(t, n)
+	// Zero C: accumulates start from zero.
+	stSeq["C"].Fill(func([]int64) float64 { return 0 })
+	stPar := Store{}
+	for k, v := range stSeq {
+		stPar[k] = v.Clone()
+	}
+	RunSequential(n, stSeq)
+	if err := RunParallel(n, stPar, 8, assignFor(t, n, []int64{4, 4, 4}, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if !stSeq["C"].EqualWithin(stPar["C"], 1e-9) {
+		t.Fatal("parallel matmul differs from sequential")
+	}
+	// Sanity: C actually holds the matmul of A and B.
+	var want float64
+	for k := int64(1); k <= 8; k++ {
+		a := stSeq["A"].At([]int64{2, k})
+		b := stSeq["B"].At([]int64{k, 3})
+		want += a * b
+	}
+	if got := stSeq["C"].At([]int64{2, 3}); got != want {
+		t.Fatalf("C[2,3] = %v, want %v", got, want)
+	}
+}
+
+func TestSplitAccumulate(t *testing.T) {
+	n := loopir.MustParse(paperex.MatmulSync, map[string]int64{"N": 2})
+	inc, ok := splitAccumulate(n.Body[0])
+	if !ok {
+		t.Fatal("matmul accumulate not recognized")
+	}
+	if _, isBin := inc.(loopir.BinExpr); !isBin {
+		t.Fatalf("increment = %#v", inc)
+	}
+	// Non-accumulate form.
+	n2 := loopir.MustParse(`
+doall (i, 1, 2)
+  l$A[i] = B[i] * 2
+enddoall`, nil)
+	if _, ok := splitAccumulate(n2.Body[0]); ok {
+		t.Fatal("non-self accumulate misrecognized")
+	}
+}
+
+func TestAtomicUpdateFallback(t *testing.T) {
+	// l$A[i] = B[i] * 2 takes the locked read-modify-write path.
+	n := loopir.MustParse(`
+doall (i, 1, 16)
+  l$A[i] = B[i] * 2
+enddoall`, nil)
+	st := setupStore(t, n)
+	if err := RunParallel(n, st, 4, assignFor(t, n, []int64{4}, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 16; i++ {
+		want := st["B"].At([]int64{i}) * 2
+		if got := st["A"].At([]int64{i}); got != want {
+			t.Fatalf("A[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestRunParallelBadAssign(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 1, 4) A[i] = 0 enddoall`, nil)
+	st := setupStore(t, n)
+	if err := RunParallel(n, st, 2, func([]int64) int { return 7 }); err == nil {
+		t.Fatal("bad assignment accepted")
+	}
+	if err := RunParallel(n, st, 0, func([]int64) int { return 0 }); err == nil {
+		t.Fatal("0 processors accepted")
+	}
+}
+
+func TestVarExprRHS(t *testing.T) {
+	n := loopir.MustParse(`
+doall (i, 1, 4)
+  doall (j, 1, 4)
+    A[i,j] = i * 10 + j
+  enddoall
+enddoall`, nil)
+	st := setupStore(t, n)
+	RunSequential(n, st)
+	if got := st["A"].At([]int64{3, 2}); got != 32 {
+		t.Fatalf("A[3,2] = %v", got)
+	}
+}
+
+func TestFillAndClone(t *testing.T) {
+	a, _ := NewArray("A", []int64{0}, []int64{3})
+	a.Fill(func(idx []int64) float64 { return float64(idx[0] * idx[0]) })
+	b := a.Clone()
+	if !a.EqualWithin(b, 0) {
+		t.Fatal("clone differs")
+	}
+	b.Set([]int64{2}, -1)
+	if a.EqualWithin(b, 0) {
+		t.Fatal("clone aliases original")
+	}
+	if a.At([]int64{3}) != 9 {
+		t.Fatalf("fill wrong: %v", a.At([]int64{3}))
+	}
+}
+
+func BenchmarkParallelExample2(b *testing.B) {
+	n := loopir.MustParse(paperex.Example2, nil)
+	st, err := StoreFor(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	assign := assignFor(b, n, []int64{100, 1}, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := RunParallel(n, st, 100, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialExample2(b *testing.B) {
+	n := loopir.MustParse(paperex.Example2, nil)
+	st, err := StoreFor(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunSequential(n, st)
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must reproduce its paper claim. These tests are the
+// contract behind EXPERIMENTS.md.
+
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow under -short")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			if r.Err != nil {
+				t.Fatalf("%s errored: %v", r.ID, r.Err)
+			}
+			if !r.Pass {
+				t.Fatalf("%s failed:\n%s", r.ID, r)
+			}
+		})
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]Result{E1()})
+	if !strings.Contains(out, "E1") || !strings.Contains(out, "experiments reproduce") {
+		t.Fatalf("table = %s", out)
+	}
+}
+
+func TestResultStringStates(t *testing.T) {
+	r := Result{ID: "EX", Title: "x", Paper: "y", Pass: false}
+	if !strings.Contains(r.String(), "FAIL") {
+		t.Error("FAIL missing")
+	}
+	r.Pass = true
+	if !strings.Contains(r.String(), "PASS") {
+		t.Error("PASS missing")
+	}
+}

@@ -1,0 +1,160 @@
+package footprint
+
+import (
+	"math"
+	"strings"
+
+	"looppart/internal/intmat"
+	"looppart/internal/layout"
+)
+
+// Exact footprint computation by enumeration (Definition 3 applied
+// literally): map every iteration point of a tile through every reference
+// and count distinct data elements. This is the ground truth the analytic
+// models are validated against, and the fallback when no closed form
+// applies (§3.8's hard cases).
+
+// ExactClassFootprint returns |∪_r F(r)| over the class members for the
+// given iteration points, using the full (unreduced) G.
+func ExactClassFootprint(c Class, iterPts [][]int64) int64 {
+	seen := make(map[string]struct{})
+	for _, p := range iterPts {
+		base := c.G.MulVec(p)
+		for _, r := range c.Refs {
+			var b strings.Builder
+			for k := range base {
+				writeInt(&b, base[k]+r.A[k])
+			}
+			seen[b.String()] = struct{}{}
+		}
+	}
+	return int64(len(seen))
+}
+
+// ExactArrayFootprint returns the number of distinct elements of one array
+// touched by the iteration points, across ALL classes referencing it
+// (classes of the same array are normally disjoint — that is why they are
+// separate classes — but this function does not assume it).
+func (a *Analysis) ExactArrayFootprint(array string, iterPts [][]int64) int64 {
+	seen := make(map[string]struct{})
+	for _, c := range a.Classes {
+		if c.Array != array {
+			continue
+		}
+		for _, p := range iterPts {
+			base := c.G.MulVec(p)
+			for _, r := range c.Refs {
+				var b strings.Builder
+				for k := range base {
+					writeInt(&b, base[k]+r.A[k])
+				}
+				seen[b.String()] = struct{}{}
+			}
+		}
+	}
+	return int64(len(seen))
+}
+
+// ExactTotalFootprint sums ExactArrayFootprint over all arrays: the total
+// number of distinct data elements the iteration points touch — the
+// cold-miss count of a tile on an infinite cache with unit lines.
+func (a *Analysis) ExactTotalFootprint(iterPts [][]int64) int64 {
+	arrays := map[string]bool{}
+	for _, c := range a.Classes {
+		arrays[c.Array] = true
+	}
+	var total int64
+	for arr := range arrays {
+		total += a.ExactArrayFootprint(arr, iterPts)
+	}
+	return total
+}
+
+// ExactLineFootprint counts the distinct cache lines the iteration points
+// touch under the given memory map — the line-granular analogue of
+// ExactTotalFootprint (the [6]-style extension for cache lines longer
+// than one element).
+func (a *Analysis) ExactLineFootprint(iterPts [][]int64, mm *layout.MemoryMap) (int64, error) {
+	lines := make(map[int64]struct{})
+	for _, c := range a.Classes {
+		for _, p := range iterPts {
+			base := c.G.MulVec(p)
+			idx := make([]int64, len(base))
+			for _, r := range c.Refs {
+				for k := range base {
+					idx[k] = base[k] + r.A[k]
+				}
+				line, err := mm.LineOf(c.Array, idx)
+				if err != nil {
+					return 0, err
+				}
+				lines[line] = struct{}{}
+			}
+		}
+	}
+	return int64(len(lines)), nil
+}
+
+// RectFootprintLinesModel estimates the line-granular cumulative footprint
+// of a rectangular tile for a class whose reduced G is the identity (the
+// stencil case [6] treats): along the storage-order (last) dimension,
+// extents and spreads contract by the line size; other dimensions are
+// unchanged:
+//
+//	Π_{j<d} extⱼ · ⌈ext_d / lineSize⌉ + Σᵢ ûᵢ'·Π_{j≠i} extⱼ'
+//
+// where the primed quantities use the contracted last dimension and the
+// last spread contracts to ⌈û_d / lineSize⌉ (a line fetches its whole
+// neighborhood). ok is false when the class is not identity-reduced, in
+// which case callers should fall back to ExactLineFootprint.
+func (c Class) RectFootprintLinesModel(ext []int64, lineSize int64) (float64, bool) {
+	gr := c.Reduced.G
+	if !gr.Equal(intmat.Identity(gr.Rows())) || lineSize <= 0 {
+		return 0, false
+	}
+	d := len(ext)
+	spread := c.Reduced.Project(c.Spread())
+	extL := make([]float64, d)
+	spreadL := make([]float64, d)
+	for k := 0; k < d; k++ {
+		extL[k] = float64(ext[k])
+		spreadL[k] = float64(abs64(spread[k]))
+	}
+	extL[d-1] = math.Ceil(float64(ext[d-1]) / float64(lineSize))
+	spreadL[d-1] = math.Ceil(spreadL[d-1] / float64(lineSize))
+	total := 1.0
+	for _, e := range extL {
+		total *= e
+	}
+	for i := 0; i < d; i++ {
+		term := spreadL[i]
+		for j := 0; j < d; j++ {
+			if j != i {
+				term *= extL[j]
+			}
+		}
+		total += term
+	}
+	return total, true
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func writeInt(b *strings.Builder, v int64) {
+	// Compact signed varint-ish encoding; delimiters avoid ambiguity.
+	if v < 0 {
+		b.WriteByte('-')
+		v = -v
+	}
+	for v >= 10 {
+		b.WriteByte(byte('0' + v%10))
+		v /= 10
+	}
+	b.WriteByte(byte('0' + v))
+	b.WriteByte(',')
+}

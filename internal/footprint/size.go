@@ -1,0 +1,390 @@
+package footprint
+
+import (
+	"fmt"
+	"math"
+
+	"looppart/internal/intmat"
+	"looppart/internal/lattice"
+	"looppart/internal/tile"
+)
+
+// Exactness qualifies a size prediction.
+type Exactness int
+
+const (
+	// Exact: the closed form counts lattice points exactly (Theorem 4
+	// with an integral spread decomposition).
+	Exact Exactness = iota
+	// Approximate: the determinant/volume model of Theorem 2, or a
+	// rational spread decomposition — correct to lower-order boundary
+	// terms (the paper's ≈).
+	Approximate
+	// Enumerated: no closed form applied; the value came from exact
+	// enumeration.
+	Enumerated
+)
+
+func (e Exactness) String() string {
+	switch e {
+	case Exact:
+		return "exact"
+	case Approximate:
+		return "approximate"
+	default:
+		return "enumerated"
+	}
+}
+
+// SpreadCoeffs solves â' = u·G' for the lattice coordinates of the class
+// spread in terms of the reduced reference matrix rows (Theorem 4). The
+// returned coefficients are absolute values. ok reports whether G' is
+// square and nonsingular; integral reports whether the solution is
+// integral (when it is, Theorem 4's count is exact).
+func (c Class) SpreadCoeffs() (u []float64, integral bool, ok bool) {
+	return c.spreadCoeffs(c.Spread())
+}
+
+// CumulativeSpreadCoeffs is SpreadCoeffs with the data-partitioning spread
+// a⁺ in place of â (footnote 2).
+func (c Class) CumulativeSpreadCoeffs() (u []float64, integral bool, ok bool) {
+	return c.spreadCoeffs(c.CumulativeSpread())
+}
+
+// solveLeftFloat solves target = u·g over the rationals and returns the
+// coefficient magnitudes as floats.
+func solveLeftFloat(g intmat.Mat, target []int64) ([]float64, bool) {
+	sol, ok := intmat.SolveLeftInt(g, target)
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, len(sol))
+	for i, s := range sol {
+		out[i] = math.Abs(s.Float())
+	}
+	return out, true
+}
+
+func (c Class) spreadCoeffs(spread []int64) ([]float64, bool, bool) {
+	gr := c.Reduced.G
+	if gr.Rows() != gr.Cols() || !gr.IsNonsingular() {
+		return nil, false, false
+	}
+	target := c.Reduced.Project(spread)
+	sol, solOK := intmat.SolveLeftInt(gr, target)
+	if !solOK {
+		return nil, false, false
+	}
+	u := make([]float64, len(sol))
+	integral := true
+	for i, s := range sol {
+		if !s.IsInt() {
+			integral = false
+		}
+		u[i] = math.Abs(s.Float())
+	}
+	return u, integral, true
+}
+
+// PairCoeffs solves (a₂ − a₁)' = u·G' for a two-reference class: the
+// lattice coordinates of the actual translation between the two
+// footprints (Proposition 1). Unlike the spread â — which takes
+// per-component max−min and so loses relative signs — this is the exact
+// translation vector, and Lemma 3 counts the union exactly from it.
+func (c Class) PairCoeffs() (u []float64, integral bool, ok bool) {
+	if len(c.Refs) != 2 {
+		return nil, false, false
+	}
+	diff := make([]int64, len(c.Refs[0].A))
+	for k := range diff {
+		diff[k] = c.Refs[1].A[k] - c.Refs[0].A[k]
+	}
+	return c.spreadCoeffs(diff)
+}
+
+// RectFootprint predicts the cumulative footprint size of a rectangular
+// tile with the given per-dimension extents (number of iterations per
+// dimension; the paper's λ+1). It uses the sharpest model available:
+//
+//   - one reference, square nonsingular G': exactly Π extⱼ (the rows of
+//     G' are independent, so the tile maps 1:1 into the data space);
+//   - two references with an integral translation decomposition: Lemma 3's
+//     exact union size 2·Π extⱼ − Π(extⱼ − |uⱼ|) — this is where the
+//     paper's Example 2 numbers (104 and 140) come from;
+//   - otherwise, with square nonsingular G': the linearized Theorem 4
+//     form (see RectFootprintLinearized), the paper's ≈;
+//   - otherwise exact enumeration.
+func (c Class) RectFootprint(ext []int64) (float64, Exactness) {
+	l := c.G.Rows()
+	if len(ext) != l {
+		panic(fmt.Sprintf("footprint: %d extents for %d-deep nest", len(ext), l))
+	}
+	gr := c.Reduced.G
+	square := gr.Rows() == gr.Cols() && gr.IsNonsingular()
+	if !square {
+		return float64(c.enumerateRect(ext)), Enumerated
+	}
+	base := 1.0
+	for _, e := range ext {
+		base *= float64(e)
+	}
+	if len(c.Refs) == 1 {
+		return base, Exact
+	}
+	if len(c.Refs) == 2 {
+		if u, integral, ok := c.PairCoeffs(); ok && integral {
+			bounds := make([]int64, len(ext))
+			ui := make([]int64, len(u))
+			for k := range ext {
+				bounds[k] = ext[k] - 1
+				ui[k] = int64(math.Round(u[k]))
+			}
+			return float64(lattice.UnionSizeModel(bounds, ui)), Exact
+		}
+	}
+	v, ex := c.RectFootprintLinearized(ext)
+	return v, ex
+}
+
+// RectFootprintLinearized is the paper's Theorem 4 expression:
+//
+//	Π extⱼ + Σᵢ |uᵢ|·Π_{j≠i} extⱼ
+//
+// with â = Σ uᵢ·gᵢ' solved over the rationals. This is the form the
+// optimizer's closed-form aspect ratios come from (Examples 8–10). It is
+// approximate: it drops Lemma 3's cross terms and relies on the spread
+// heuristic for classes of three or more references.
+func (c Class) RectFootprintLinearized(ext []int64) (float64, Exactness) {
+	u, _, ok := c.SpreadCoeffs()
+	if !ok {
+		return float64(c.enumerateRect(ext)), Enumerated
+	}
+	base := 1.0
+	for _, e := range ext {
+		base *= float64(e)
+	}
+	total := base
+	for i, ui := range u {
+		term := ui
+		for j, e := range ext {
+			if j == i {
+				continue
+			}
+			term *= float64(e)
+		}
+		total += term
+	}
+	return total, Approximate
+}
+
+// RectTraffic predicts the per-tile communication volume of a rectangular
+// tile: the cumulative footprint minus the single-reference footprint
+// (the Σᵢ |uᵢ|·Π_{j≠i} extⱼ terms). Under an outer sequential loop this is
+// the steady-state coherence traffic per epoch (Figure 9 discussion); the
+// volume term drops because it is fixed by load balance.
+func (c Class) RectTraffic(ext []int64) (float64, Exactness) {
+	fp, ex := c.RectFootprint(ext)
+	if ex == Enumerated {
+		// Subtract the enumerated single-reference footprint.
+		single := c.enumerateRectSingle(ext)
+		return fp - float64(single), Enumerated
+	}
+	base := 1.0
+	for _, e := range ext {
+		base *= float64(e)
+	}
+	return fp - base, ex
+}
+
+// RectTrafficLinearized is the paper's Theorem 4 traffic expression: the
+// Σᵢ |uᵢ|·Π_{j≠i} extⱼ terms alone (Example 8's 2LjLk + 3LiLk + 4LiLj).
+func (c Class) RectTrafficLinearized(ext []int64) (float64, Exactness) {
+	fp, ex := c.RectFootprintLinearized(ext)
+	if ex == Enumerated {
+		single := c.enumerateRectSingle(ext)
+		return fp - float64(single), Enumerated
+	}
+	base := 1.0
+	for _, e := range ext {
+		base *= float64(e)
+	}
+	return fp - base, ex
+}
+
+// TileFootprint predicts the cumulative footprint for a general
+// hyperparallelepiped tile via Theorem 2:
+//
+//	|det LG'| + Σᵢ |det (LG')_{i→â'}|
+//
+// where G' is the reduced reference matrix and â' the projected spread.
+// The model requires G' square; otherwise the footprint is enumerated.
+// For rectangular tiles RectFootprint gives sharper (λ+1) counts.
+func (c Class) TileFootprint(t tile.Tile) (float64, Exactness) {
+	gr := c.Reduced.G
+	if gr.Rows() != gr.Cols() || !gr.IsNonsingular() {
+		return float64(c.enumerateTile(t)), Enumerated
+	}
+	lg := t.L.Mul(gr)
+	total := math.Abs(float64(lg.Det()))
+	spread := c.Reduced.Project(c.Spread())
+	for i := 0; i < lg.Rows(); i++ {
+		replaced := lg.WithRow(i, spread)
+		total += math.Abs(float64(replaced.Det()))
+	}
+	return total, Approximate
+}
+
+// enumerateRect computes the exact cumulative footprint of the rectangular
+// origin tile with the given extents.
+func (c Class) enumerateRect(ext []int64) int64 {
+	pts := rectPoints(ext)
+	return ExactClassFootprint(c, pts)
+}
+
+// enumerateRectSingle computes the exact footprint of the first reference
+// alone.
+func (c Class) enumerateRectSingle(ext []int64) int64 {
+	pts := rectPoints(ext)
+	single := Class{Array: c.Array, G: c.G, Refs: c.Refs[:1], Reduced: c.Reduced}
+	return ExactClassFootprint(single, pts)
+}
+
+func (c Class) enumerateTile(t tile.Tile) int64 {
+	return ExactClassFootprint(c, tile.OriginPoints(t))
+}
+
+func rectPoints(ext []int64) [][]int64 {
+	hi := make([]int64, len(ext))
+	for k, e := range ext {
+		if e <= 0 {
+			panic(fmt.Sprintf("footprint: non-positive extent %d", e))
+		}
+		hi[k] = e - 1
+	}
+	var pts [][]int64
+	(tile.Bounds{Lo: make([]int64, len(ext)), Hi: hi}).ForEach(func(p []int64) bool {
+		pts = append(pts, p)
+		return true
+	})
+	return pts
+}
+
+// SingleFootprintVolume returns |det LG'| for one reference (Equation 2) —
+// the leading term of the footprint size — or ok=false when the reduced G
+// is not square.
+func (c Class) SingleFootprintVolume(t tile.Tile) (int64, bool) {
+	gr := c.Reduced.G
+	if gr.Rows() != gr.Cols() {
+		return 0, false
+	}
+	d := t.L.Mul(gr).Det()
+	if d < 0 {
+		d = -d
+	}
+	return d, true
+}
+
+// FootprintInvariant reports whether the class's footprint size is
+// independent of the tile shape given fixed tile volume — true when the
+// class has a single reference and its reduced G is square nonsingular
+// (|det LG'| = |det L|·|det G'|, Example 8's "A need not figure in the
+// optimization"). Such classes are excluded from shape optimization.
+func (c Class) FootprintInvariant() bool {
+	gr := c.Reduced.G
+	return len(c.Refs) == 1 && gr.Rows() == gr.Cols() && gr.IsNonsingular()
+}
+
+// RectTotalFootprint sums RectFootprint over all classes of the analysis;
+// the exactness is the weakest among the classes.
+func (a *Analysis) RectTotalFootprint(ext []int64) (float64, Exactness) {
+	total := 0.0
+	worst := Exact
+	for _, c := range a.Classes {
+		v, ex := c.RectFootprint(ext)
+		total += v
+		if ex > worst {
+			worst = ex
+		}
+	}
+	return total, worst
+}
+
+// RectTotalTraffic sums RectTraffic over all classes.
+func (a *Analysis) RectTotalTraffic(ext []int64) (float64, Exactness) {
+	total := 0.0
+	worst := Exact
+	for _, c := range a.Classes {
+		v, ex := c.RectTraffic(ext)
+		total += v
+		if ex > worst {
+			worst = ex
+		}
+	}
+	return total, worst
+}
+
+// RectTotalFootprintLinearized sums the paper's Theorem 4 expression over
+// all classes.
+func (a *Analysis) RectTotalFootprintLinearized(ext []int64) (float64, Exactness) {
+	total := 0.0
+	worst := Exact
+	for _, c := range a.Classes {
+		v, ex := c.RectFootprintLinearized(ext)
+		total += v
+		if ex > worst {
+			worst = ex
+		}
+	}
+	return total, worst
+}
+
+// RectTotalTrafficLinearized sums the paper's traffic terms over all
+// classes — the objective whose Lagrange conditions give the paper's
+// closed-form aspect ratios.
+func (a *Analysis) RectTotalTrafficLinearized(ext []int64) (float64, Exactness) {
+	total := 0.0
+	worst := Exact
+	for _, c := range a.Classes {
+		v, ex := c.RectTrafficLinearized(ext)
+		total += v
+		if ex > worst {
+			worst = ex
+		}
+	}
+	return total, worst
+}
+
+// TileTotalFootprint sums TileFootprint over all classes.
+func (a *Analysis) TileTotalFootprint(t tile.Tile) (float64, Exactness) {
+	total := 0.0
+	worst := Exact
+	for _, c := range a.Classes {
+		v, ex := c.TileFootprint(t)
+		total += v
+		if ex > worst {
+			worst = ex
+		}
+	}
+	return total, worst
+}
+
+// TileTotalTraffic sums the Theorem 2 spread terms over all classes: the
+// cumulative footprint minus the volume term |det LG'| per class.
+func (a *Analysis) TileTotalTraffic(t tile.Tile) (float64, Exactness) {
+	total := 0.0
+	worst := Exact
+	for _, c := range a.Classes {
+		fp, ex := c.TileFootprint(t)
+		if vol, ok := c.SingleFootprintVolume(t); ok && ex != Enumerated {
+			total += fp - float64(vol)
+		} else {
+			single := Class{Array: c.Array, G: c.G, Refs: c.Refs[:1], Reduced: c.Reduced}
+			total += fp - float64(single.enumerateTile(t))
+			ex = Enumerated
+		}
+		if ex > worst {
+			worst = ex
+		}
+	}
+	return total, worst
+}

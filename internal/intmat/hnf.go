@@ -1,0 +1,311 @@
+package intmat
+
+import (
+	"looppart/internal/rational"
+)
+
+// This file implements the Hermite and Smith normal forms used by the
+// lattice machinery. The paper invokes the Hermite normal form theorem
+// twice: in Lemma 2 (the map i ↦ i·G is onto iff the columns of G are
+// independent and the gcd of the maximal minors is 1) and implicitly in
+// Theorem 3, where deciding whether two translated bounded lattices
+// intersect requires solving t = Σ uᵢ·aᵢ over the integers.
+//
+// We use the ROW convention throughout: the lattice associated with a
+// matrix A is the set of integer combinations of the rows of A, matching
+// the paper's row-vector iteration spaces. The row Hermite normal form of
+// A is H = U·A with U unimodular, H in row-echelon form with positive
+// pivots and entries below each pivot zero, entries above each pivot
+// reduced into [0, pivot).
+
+// HNFResult carries the row Hermite normal form H = U·A.
+type HNFResult struct {
+	H Mat // the Hermite normal form, same shape as A
+	U Mat // unimodular transform, rows(A) × rows(A)
+	// PivotCols[k] is the column of the k-th pivot; len(PivotCols) == Rank.
+	PivotCols []int
+	Rank      int
+}
+
+// HNF computes the row Hermite normal form of m.
+func HNF(m Mat) HNFResult {
+	h := m.Clone()
+	u := Identity(m.rows)
+	var pivots []int
+	row := 0
+	for col := 0; col < h.cols && row < h.rows; col++ {
+		// Reduce column `col` below `row` to a single positive pivot via
+		// the extended Euclid row operations.
+		p := -1
+		for i := row; i < h.rows; i++ {
+			if h.At(i, col) != 0 {
+				p = i
+				break
+			}
+		}
+		if p == -1 {
+			continue
+		}
+		h.swapRows(row, p)
+		u.swapRows(row, p)
+		for i := row + 1; i < h.rows; i++ {
+			for h.At(i, col) != 0 {
+				a, b := h.At(row, col), h.At(i, col)
+				if abs(b) < abs(a) || a == 0 {
+					h.swapRows(row, i)
+					u.swapRows(row, i)
+					continue
+				}
+				q := b / a
+				h.addRowMultiple(i, row, -q)
+				u.addRowMultiple(i, row, -q)
+			}
+		}
+		if h.At(row, col) < 0 {
+			h.negateRow(row)
+			u.negateRow(row)
+		}
+		// Reduce entries above the pivot into [0, pivot).
+		piv := h.At(row, col)
+		for i := 0; i < row; i++ {
+			v := h.At(i, col)
+			q := floorDiv(v, piv)
+			if q != 0 {
+				h.addRowMultiple(i, row, -q)
+				u.addRowMultiple(i, row, -q)
+			}
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return HNFResult{H: h, U: u, PivotCols: pivots, Rank: row}
+}
+
+// addRowMultiple adds k times row src to row dst.
+func (m Mat) addRowMultiple(dst, src int, k int64) {
+	if k == 0 {
+		return
+	}
+	for c := 0; c < m.cols; c++ {
+		m.Set(dst, c, rational.CheckedAddInt(m.At(dst, c), rational.CheckedMulInt(k, m.At(src, c))))
+	}
+}
+
+func (m Mat) negateRow(i int) {
+	for c := 0; c < m.cols; c++ {
+		m.Set(i, c, -m.At(i, c))
+	}
+}
+
+func abs(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// floorDiv returns floor(a/b) for b != 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// SolveIntLeft solves u·A = t for an integer row vector u, where the rows
+// of A generate a lattice (Theorem 3's membership test). It returns the
+// coordinate vector u and true if t is in the row lattice of A; otherwise
+// ok is false. When the rows of A are linearly dependent the returned u is
+// one valid solution.
+func SolveIntLeft(a Mat, t []int64) (u []int64, ok bool) {
+	if len(t) != a.cols {
+		panic("intmat: SolveIntLeft length mismatch")
+	}
+	hr := HNF(a)
+	// Solve y·H = t by forward substitution over pivot columns, then
+	// u = y·U.
+	y := make([]int64, a.rows)
+	rem := make([]int64, len(t))
+	copy(rem, t)
+	for k, col := range hr.PivotCols {
+		piv := hr.H.At(k, col)
+		if rem[col]%piv != 0 {
+			return nil, false
+		}
+		y[k] = rem[col] / piv
+		if y[k] != 0 {
+			for c := 0; c < a.cols; c++ {
+				rem[c] = rational.CheckedAddInt(rem[c], -rational.CheckedMulInt(y[k], hr.H.At(k, c)))
+			}
+		}
+	}
+	for _, v := range rem {
+		if v != 0 {
+			return nil, false
+		}
+	}
+	u = hr.U.MulVec(y) // u = y·U
+	return u, true
+}
+
+// InRowLattice reports whether t is an integer combination of the rows of a.
+func InRowLattice(a Mat, t []int64) bool {
+	_, ok := SolveIntLeft(a, t)
+	return ok
+}
+
+// SNFResult carries the Smith normal form S = U·A·V with U, V unimodular
+// and S diagonal with s₁ | s₂ | … | s_r.
+type SNFResult struct {
+	S Mat
+	U Mat // rows(A) × rows(A), unimodular
+	V Mat // cols(A) × cols(A), unimodular
+	// Invariants holds the nonzero diagonal entries s₁..s_r.
+	Invariants []int64
+}
+
+// SNF computes the Smith normal form of m. The product of the invariant
+// factors is the index of the row lattice in Z^d (for full-rank square m,
+// |det m|); the map i ↦ i·G is onto Z^d exactly when all invariant factors
+// are 1 (the paper's Lemma 2).
+func SNF(m Mat) SNFResult {
+	s := m.Clone()
+	u := Identity(m.rows)
+	v := Identity(m.cols)
+	n := min(m.rows, m.cols)
+	for k := 0; k < n; k++ {
+		if !snfPivot(s, u, v, k) {
+			break
+		}
+		// Eliminate row and column k beyond the pivot.
+		for {
+			again := false
+			for i := k + 1; i < s.rows; i++ {
+				for s.At(i, k) != 0 {
+					q := s.At(i, k) / s.At(k, k)
+					s.addRowMultiple(i, k, -q)
+					u.addRowMultiple(i, k, -q)
+					if s.At(i, k) != 0 {
+						s.swapRows(k, i)
+						u.swapRows(k, i)
+						again = true
+					}
+				}
+			}
+			for j := k + 1; j < s.cols; j++ {
+				for s.At(k, j) != 0 {
+					q := s.At(k, j) / s.At(k, k)
+					addColMultiple(s, j, k, -q)
+					addColMultiple(v, j, k, -q)
+					if s.At(k, j) != 0 {
+						swapCols(s, k, j)
+						swapCols(v, k, j)
+						again = true
+					}
+				}
+			}
+			if !again {
+				break
+			}
+		}
+		// Enforce divisibility s_k | s_{k+1}.. by folding any offender in.
+		for i := k + 1; i < s.rows; i++ {
+			for j := k + 1; j < s.cols; j++ {
+				if s.At(i, j)%s.At(k, k) != 0 {
+					// Add row i to row k, then re-eliminate.
+					s.addRowMultiple(k, i, 1)
+					u.addRowMultiple(k, i, 1)
+					k--
+					goto next
+				}
+			}
+		}
+		if s.At(k, k) < 0 {
+			s.negateRow(k)
+			u.negateRow(k)
+		}
+	next:
+	}
+	var inv []int64
+	for k := 0; k < n; k++ {
+		if d := s.At(k, k); d != 0 {
+			inv = append(inv, d)
+		}
+	}
+	return SNFResult{S: s, U: u, V: v, Invariants: inv}
+}
+
+// snfPivot moves a nonzero entry from the trailing submatrix to (k,k).
+// Returns false if the trailing submatrix is all zero.
+func snfPivot(s, u, v Mat, k int) bool {
+	for i := k; i < s.rows; i++ {
+		for j := k; j < s.cols; j++ {
+			if s.At(i, j) != 0 {
+				if i != k {
+					s.swapRows(k, i)
+					u.swapRows(k, i)
+				}
+				if j != k {
+					swapCols(s, k, j)
+					swapCols(v, k, j)
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func addColMultiple(m Mat, dst, src int, k int64) {
+	if k == 0 {
+		return
+	}
+	for r := 0; r < m.rows; r++ {
+		m.Set(r, dst, rational.CheckedAddInt(m.At(r, dst), rational.CheckedMulInt(k, m.At(r, src))))
+	}
+}
+
+func swapCols(m Mat, i, j int) {
+	for r := 0; r < m.rows; r++ {
+		vi, vj := m.At(r, i), m.At(r, j)
+		m.Set(r, i, vj)
+		m.Set(r, j, vi)
+	}
+}
+
+// LeftNullspaceInt returns an integer basis of the left null space of m:
+// row vectors n with n·m = 0. The basis is obtained from the rows of the
+// HNF transform U beyond the rank (those rows of U map to zero rows of H).
+// Because U is unimodular, these rows are an integral basis.
+func LeftNullspaceInt(m Mat) [][]int64 {
+	hr := HNF(m)
+	var basis [][]int64
+	for i := hr.Rank; i < m.rows; i++ {
+		basis = append(basis, hr.U.Row(i))
+	}
+	return basis
+}
+
+// RightNullspaceInt returns an integer basis of {x : m·xᵗ = 0} as row
+// vectors, i.e. the left null space of mᵗ.
+func RightNullspaceInt(m Mat) [][]int64 {
+	return LeftNullspaceInt(m.Transpose())
+}
+
+// IsOnto reports whether the map i ↦ i·m from Z^l to Z^d is onto, per
+// Lemma 2: the columns must be independent and the gcd of the maximal-order
+// subdeterminants must be 1. Equivalently all Smith invariant factors are 1
+// and the rank equals the number of columns.
+func IsOnto(m Mat) bool {
+	if m.Rank() != m.cols {
+		return false
+	}
+	return m.GCDOfMinors(m.cols) == 1
+}
+
+// IsOneToOne reports whether the map i ↦ i·m is one-to-one, per Lemma 1:
+// the rows of m must be linearly independent.
+func IsOneToOne(m Mat) bool {
+	return m.Rank() == m.rows
+}

@@ -1,0 +1,348 @@
+package intmat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"looppart/internal/rational"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := NewMat(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %d", m.At(1, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Errorf("At(0,0) = %d", m.At(0, 0))
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := NewMat(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range At did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]int64{{1, 2}, {3}})
+}
+
+func TestIdentityDiag(t *testing.T) {
+	if !Identity(3).Equal(Diag(1, 1, 1)) {
+		t.Error("Identity(3) != Diag(1,1,1)")
+	}
+	d := Diag(2, 5)
+	if d.At(0, 0) != 2 || d.At(1, 1) != 5 || d.At(0, 1) != 0 {
+		t.Error("Diag wrong")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]int64{{1, 2}, {3, 4}})
+	b := FromRows([][]int64{{5, 6}, {7, 8}})
+	want := FromRows([][]int64{{19, 22}, {43, 50}})
+	if got := a.Mul(b); !got.Equal(want) {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+	if got := a.Mul(Identity(2)); !got.Equal(a) {
+		t.Errorf("a·I = %v", got)
+	}
+}
+
+func TestMulVecRowConvention(t *testing.T) {
+	// Paper Example 1: reference A(i3+2, 5, i2-1, 4) in a triply nested
+	// loop has G with columns picking out i3 and i2.
+	g := FromRows([][]int64{
+		{0, 0, 0, 0},
+		{0, 0, 1, 0},
+		{1, 0, 0, 0},
+	})
+	i := []int64{10, 20, 30}
+	got := g.MulVec(i)
+	want := []int64{30, 0, 20, 0}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("i·G = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]int64{{1, 2, 3}, {4, 5, 6}})
+	want := FromRows([][]int64{{1, 4}, {2, 5}, {3, 6}})
+	if got := a.Transpose(); !got.Equal(want) {
+		t.Errorf("Transpose = %v", got)
+	}
+}
+
+func TestDetSmall(t *testing.T) {
+	cases := []struct {
+		m    Mat
+		want int64
+	}{
+		{Identity(3), 1},
+		{FromRows([][]int64{{1, 1}, {1, -1}}), -2}, // Example 10 class B
+		{FromRows([][]int64{{1, 0}, {1, 1}}), 1},   // Example 6
+		{FromRows([][]int64{{2, 0}, {0, 3}}), 6},
+		{FromRows([][]int64{{1, 2}, {2, 4}}), 0},
+		{FromRows([][]int64{{0, 1}, {1, 0}}), -1},
+		{NewMat(0, 0), 1},
+		{FromRows([][]int64{{0, 2, 3}, {1, 0, 2}, {3, 1, 0}}), 15},
+	}
+	for _, c := range cases {
+		if got := c.m.Det(); got != c.want {
+			t.Errorf("Det(%v) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestDetNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Det of non-square did not panic")
+		}
+	}()
+	NewMat(2, 3).Det()
+}
+
+func TestDetMatchesRational(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(4)
+		m := NewMat(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, int64(rng.Intn(11)-5))
+			}
+		}
+		want := m.ToRat().Det()
+		if got := m.Det(); !rational.FromInt(got).Equal(want) {
+			t.Fatalf("trial %d: Bareiss Det(%v)=%d, rational Det=%v", trial, m, got, want)
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	cases := []struct {
+		m    Mat
+		want int
+	}{
+		{Identity(3), 3},
+		{FromRows([][]int64{{1, 2}, {2, 4}}), 1},
+		{FromRows([][]int64{{1, 2, 1}, {0, 0, 1}}), 2}, // Example 7
+		{NewMat(2, 2), 0},
+		{FromRows([][]int64{{1, 1, 1}}), 1},
+		{FromRows([][]int64{{1, 0}, {0, 1}, {1, 1}}), 2},
+	}
+	for _, c := range cases {
+		if got := c.m.Rank(); got != c.want {
+			t.Errorf("Rank(%v) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestUnimodular(t *testing.T) {
+	if !FromRows([][]int64{{1, 0}, {1, 1}}).IsUnimodular() {
+		t.Error("Example 6 G should be unimodular")
+	}
+	if FromRows([][]int64{{1, 1}, {1, -1}}).IsUnimodular() {
+		t.Error("Example 10 G (det -2) is not unimodular")
+	}
+	if !FromRows([][]int64{{1, 1}, {1, -1}}).IsNonsingular() {
+		t.Error("Example 10 G is nonsingular")
+	}
+	if NewMat(2, 3).IsUnimodular() {
+		t.Error("non-square cannot be unimodular")
+	}
+}
+
+func TestZeroColsAndNonZeroCols(t *testing.T) {
+	g := FromRows([][]int64{
+		{0, 0, 0, 0},
+		{0, 0, 1, 0},
+		{1, 0, 0, 0},
+	})
+	got := g.NonZeroCols()
+	want := []int{0, 2}
+	if len(got) != len(want) {
+		t.Fatalf("NonZeroCols = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NonZeroCols = %v, want %v", got, want)
+		}
+	}
+	sel := g.SelectCols(got)
+	if sel.Rows() != 3 || sel.Cols() != 2 {
+		t.Fatalf("SelectCols shape %dx%d", sel.Rows(), sel.Cols())
+	}
+}
+
+func TestMaxIndependentCols(t *testing.T) {
+	// Example 7: G = [[1,2,1],[0,0,1]]; first and third columns independent.
+	g := FromRows([][]int64{{1, 2, 1}, {0, 0, 1}})
+	got := g.MaxIndependentCols()
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("MaxIndependentCols = %v, want [0 2]", got)
+	}
+	gp := g.SelectCols(got)
+	want := FromRows([][]int64{{1, 1}, {0, 1}})
+	if !gp.Equal(want) {
+		t.Fatalf("G' = %v, want %v", gp, want)
+	}
+	if !gp.IsUnimodular() {
+		t.Error("Example 7 G' should be unimodular")
+	}
+
+	// Example 10 class C: C(i,2i,i+2j): G = [[1,2,1],[0,0,2]].
+	g2 := FromRows([][]int64{{1, 2, 1}, {0, 0, 2}})
+	got2 := g2.MaxIndependentCols()
+	if len(got2) != 2 || got2[0] != 0 || got2[1] != 2 {
+		t.Fatalf("MaxIndependentCols = %v, want [0 2]", got2)
+	}
+}
+
+func TestWithRow(t *testing.T) {
+	m := FromRows([][]int64{{1, 2}, {3, 4}})
+	n := m.WithRow(0, []int64{9, 9})
+	if m.At(0, 0) != 1 {
+		t.Error("WithRow mutated receiver")
+	}
+	if n.At(0, 0) != 9 || n.At(1, 1) != 4 {
+		t.Errorf("WithRow = %v", n)
+	}
+}
+
+func TestGCDOfMinors(t *testing.T) {
+	// G = [[2,0],[0,2]]: all 2x2 minors are 4, 1x1 minors gcd 2.
+	g := Diag(2, 2)
+	if got := g.GCDOfMinors(2); got != 4 {
+		t.Errorf("GCDOfMinors(2) = %d, want 4", got)
+	}
+	if got := g.GCDOfMinors(1); got != 2 {
+		t.Errorf("GCDOfMinors(1) = %d, want 2", got)
+	}
+	// A[i+j] in a 2-deep nest: G = [[1],[1]] — onto.
+	g2 := FromRows([][]int64{{1}, {1}})
+	if got := g2.GCDOfMinors(1); got != 1 {
+		t.Errorf("GCDOfMinors = %d, want 1", got)
+	}
+}
+
+func TestIsOntoIsOneToOne(t *testing.T) {
+	// A[i+j]: onto but not one-to-one.
+	g := FromRows([][]int64{{1}, {1}})
+	if !IsOnto(g) {
+		t.Error("A[i+j] map should be onto")
+	}
+	if IsOneToOne(g) {
+		t.Error("A[i+j] map should not be one-to-one")
+	}
+	// A[2i]: one-to-one but not onto.
+	g2 := FromRows([][]int64{{2}})
+	if IsOnto(g2) {
+		t.Error("A[2i] map should not be onto")
+	}
+	if !IsOneToOne(g2) {
+		t.Error("A[2i] map should be one-to-one")
+	}
+	// Unimodular: both.
+	g3 := FromRows([][]int64{{1, 0}, {1, 1}})
+	if !IsOnto(g3) || !IsOneToOne(g3) {
+		t.Error("unimodular map should be bijective")
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	got := combinations(4, 2)
+	if len(got) != 6 {
+		t.Fatalf("combinations(4,2) has %d elements", len(got))
+	}
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("combinations = %v", got)
+		}
+	}
+	if len(combinations(2, 3)) != 0 {
+		t.Error("combinations(2,3) should be empty")
+	}
+}
+
+func randMat(rng *rand.Rand, r, c, lim int) Mat {
+	m := NewMat(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, int64(rng.Intn(2*lim+1)-lim))
+		}
+	}
+	return m
+}
+
+func TestPropDetMultiplicative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(3)
+		a, b := randMat(rng, n, n, 5), randMat(rng, n, n, 5)
+		if a.Mul(b).Det() != a.Det()*b.Det() {
+			t.Fatalf("det(ab) != det(a)det(b) for %v, %v", a, b)
+		}
+	}
+}
+
+func TestPropTransposeDet(t *testing.T) {
+	f := func(a, b, c, d int8) bool {
+		m := FromRows([][]int64{{int64(a), int64(b)}, {int64(c), int64(d)}})
+		return m.Det() == m.Transpose().Det()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRankBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		r, c := 1+rng.Intn(4), 1+rng.Intn(4)
+		m := randMat(rng, r, c, 4)
+		rk := m.Rank()
+		if rk < 0 || rk > r || rk > c {
+			t.Fatalf("rank %d out of bounds for %dx%d", rk, r, c)
+		}
+		if rk != m.Transpose().Rank() {
+			t.Fatalf("rank(m) != rank(mᵗ) for %v", m)
+		}
+	}
+}
+
+func BenchmarkDet4(b *testing.B) {
+	m := FromRows([][]int64{
+		{3, 1, 4, 1}, {5, 9, 2, 6}, {5, 3, 5, 8}, {9, 7, 9, 3},
+	})
+	for i := 0; i < b.N; i++ {
+		_ = m.Det()
+	}
+}
+
+func BenchmarkMul4(b *testing.B) {
+	m := FromRows([][]int64{
+		{3, 1, 4, 1}, {5, 9, 2, 6}, {5, 3, 5, 8}, {9, 7, 9, 3},
+	})
+	for i := 0; i < b.N; i++ {
+		_ = m.Mul(m)
+	}
+}

@@ -1,0 +1,171 @@
+// Package layout assigns memory addresses to array elements so that cache
+// lines longer than one element can be modeled. The paper assumes unit
+// lines ("the effect of larger cache lines can be included as suggested in
+// [6]"); this package supplies that extension: row-major linearization of
+// each array into a flat address space, from which the simulator and the
+// footprint models derive line-granular miss counts.
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"looppart/internal/loopir"
+)
+
+// Layout is the dense row-major placement of one array.
+type Layout struct {
+	Name string
+	Lo   []int64 // per-dimension lower bounds
+	Hi   []int64 // per-dimension upper bounds (inclusive)
+	Base int64   // address of the element at Lo
+
+	strides []int64
+	size    int64
+}
+
+// New builds a layout covering [lo, hi] anchored at base.
+func New(name string, lo, hi []int64, base int64) (*Layout, error) {
+	if len(lo) != len(hi) {
+		return nil, fmt.Errorf("layout: rank mismatch for %s", name)
+	}
+	l := &Layout{Name: name, Lo: lo, Hi: hi, Base: base}
+	l.strides = make([]int64, len(lo))
+	size := int64(1)
+	for k := len(lo) - 1; k >= 0; k-- {
+		if hi[k] < lo[k] {
+			return nil, fmt.Errorf("layout: empty dimension %d of %s", k, name)
+		}
+		l.strides[k] = size
+		size *= hi[k] - lo[k] + 1
+	}
+	l.size = size
+	return l, nil
+}
+
+// Size returns the number of elements.
+func (l *Layout) Size() int64 { return l.size }
+
+// AddrOf returns the address of an element. Indices must be in bounds.
+func (l *Layout) AddrOf(idx []int64) (int64, error) {
+	if len(idx) != len(l.Lo) {
+		return 0, fmt.Errorf("layout: %s indexed with rank %d, want %d", l.Name, len(idx), len(l.Lo))
+	}
+	addr := l.Base
+	for k := range idx {
+		if idx[k] < l.Lo[k] || idx[k] > l.Hi[k] {
+			return 0, fmt.Errorf("layout: %s%v out of bounds", l.Name, idx)
+		}
+		addr += (idx[k] - l.Lo[k]) * l.strides[k]
+	}
+	return addr, nil
+}
+
+// LineOf returns the cache-line number of an element for the given line
+// size (in elements).
+func (l *Layout) LineOf(idx []int64, lineSize int64) (int64, error) {
+	addr, err := l.AddrOf(idx)
+	if err != nil {
+		return 0, err
+	}
+	return addr / lineSize, nil
+}
+
+// MemoryMap lays out every array of a nest in one flat address space, each
+// array aligned to a line boundary so arrays never share lines.
+type MemoryMap struct {
+	Arrays map[string]*Layout
+	// LineSize in elements; addresses are element-granular.
+	LineSize int64
+	total    int64
+}
+
+// MapNest sizes each array from the nest's references (interval analysis
+// over the affine subscripts) and packs them line-aligned.
+func MapNest(n *loopir.Nest, lineSize int64) (*MemoryMap, error) {
+	if lineSize <= 0 {
+		return nil, fmt.Errorf("layout: line size must be positive")
+	}
+	type ext struct{ lo, hi []int64 }
+	exts := map[string]*ext{}
+	var order []string
+	loops := map[string]loopir.Loop{}
+	for _, l := range n.Loops {
+		loops[l.Var] = l
+	}
+	for _, acc := range n.Accesses() {
+		r := acc.Ref
+		e, ok := exts[r.Array]
+		if !ok {
+			e = &ext{lo: make([]int64, r.Dim()), hi: make([]int64, r.Dim())}
+			for k := range e.lo {
+				e.lo[k] = math.MaxInt64
+				e.hi[k] = math.MinInt64
+			}
+			exts[r.Array] = e
+			order = append(order, r.Array)
+		}
+		if len(e.lo) != r.Dim() {
+			return nil, fmt.Errorf("layout: array %s used with ranks %d and %d", r.Array, len(e.lo), r.Dim())
+		}
+		for k, sub := range r.Subs {
+			lo, hi := sub.Const, sub.Const
+			for v, c := range sub.Coef {
+				l, ok := loops[v]
+				if !ok {
+					return nil, fmt.Errorf("layout: unknown variable %q", v)
+				}
+				a, b := c*l.Lo, c*l.Hi
+				if a > b {
+					a, b = b, a
+				}
+				lo += a
+				hi += b
+			}
+			if lo < e.lo[k] {
+				e.lo[k] = lo
+			}
+			if hi > e.hi[k] {
+				e.hi[k] = hi
+			}
+		}
+	}
+	m := &MemoryMap{Arrays: map[string]*Layout{}, LineSize: lineSize}
+	base := int64(0)
+	for _, name := range order {
+		e := exts[name]
+		l, err := New(name, e.lo, e.hi, base)
+		if err != nil {
+			return nil, err
+		}
+		m.Arrays[name] = l
+		base += l.Size()
+		// Align the next array to a line boundary.
+		if rem := base % lineSize; rem != 0 {
+			base += lineSize - rem
+		}
+	}
+	m.total = base
+	return m, nil
+}
+
+// TotalSize returns the extent of the packed address space.
+func (m *MemoryMap) TotalSize() int64 { return m.total }
+
+// AddrOf resolves an array element to its address.
+func (m *MemoryMap) AddrOf(array string, idx []int64) (int64, error) {
+	l, ok := m.Arrays[array]
+	if !ok {
+		return 0, fmt.Errorf("layout: unknown array %q", array)
+	}
+	return l.AddrOf(idx)
+}
+
+// LineOf resolves an array element to its cache line.
+func (m *MemoryMap) LineOf(array string, idx []int64) (int64, error) {
+	addr, err := m.AddrOf(array, idx)
+	if err != nil {
+		return 0, err
+	}
+	return addr / m.LineSize, nil
+}

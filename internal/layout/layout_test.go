@@ -1,0 +1,142 @@
+package layout
+
+import (
+	"testing"
+
+	"looppart/internal/loopir"
+	"looppart/internal/paperex"
+)
+
+func TestLayoutAddrRowMajor(t *testing.T) {
+	l, err := New("A", []int64{0, 0}, []int64{3, 4}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 20 {
+		t.Fatalf("size = %d", l.Size())
+	}
+	a0, _ := l.AddrOf([]int64{0, 0})
+	a1, _ := l.AddrOf([]int64{0, 1})
+	a2, _ := l.AddrOf([]int64{1, 0})
+	if a0 != 100 || a1 != 101 || a2 != 105 {
+		t.Fatalf("addrs = %d %d %d", a0, a1, a2)
+	}
+	last, _ := l.AddrOf([]int64{3, 4})
+	if last != 119 {
+		t.Fatalf("last = %d", last)
+	}
+}
+
+func TestLayoutNegativeLowerBounds(t *testing.T) {
+	l, err := New("B", []int64{-2, -3}, []int64{2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := l.AddrOf([]int64{-2, -3})
+	if err != nil || a != 0 {
+		t.Fatalf("corner addr = %d err=%v", a, err)
+	}
+}
+
+func TestLayoutErrors(t *testing.T) {
+	if _, err := New("A", []int64{0}, []int64{1, 2}, 0); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if _, err := New("A", []int64{5}, []int64{2}, 0); err == nil {
+		t.Error("empty dim accepted")
+	}
+	l, _ := New("A", []int64{0}, []int64{3}, 0)
+	if _, err := l.AddrOf([]int64{4}); err == nil {
+		t.Error("out of bounds accepted")
+	}
+	if _, err := l.AddrOf([]int64{0, 0}); err == nil {
+		t.Error("wrong rank accepted")
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	l, _ := New("A", []int64{0}, []int64{15}, 0)
+	for i := int64(0); i < 16; i++ {
+		line, err := l.LineOf([]int64{i}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line != i/4 {
+			t.Fatalf("LineOf(%d) = %d", i, line)
+		}
+	}
+}
+
+func TestMapNest(t *testing.T) {
+	n := loopir.MustParse(paperex.Example2, nil)
+	mm, err := MapNest(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Arrays) != 2 {
+		t.Fatalf("arrays = %d", len(mm.Arrays))
+	}
+	// Arrays are line-aligned and non-overlapping.
+	a, b := mm.Arrays["A"], mm.Arrays["B"]
+	if a == nil || b == nil {
+		t.Fatal("missing arrays")
+	}
+	first, second := a, b
+	if b.Base < a.Base {
+		first, second = b, a
+	}
+	if second.Base < first.Base+first.Size() {
+		t.Fatal("arrays overlap")
+	}
+	if second.Base%8 != 0 {
+		t.Fatalf("second array not line-aligned: base %d", second.Base)
+	}
+	if mm.TotalSize() < first.Size()+second.Size() {
+		t.Fatalf("total %d too small", mm.TotalSize())
+	}
+	// Distinct elements of distinct arrays never share a line.
+	la, err := mm.LineOf("A", []int64{101, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := mm.LineOf("B", []int64{102, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la == lb {
+		t.Fatal("cross-array line sharing")
+	}
+}
+
+func TestMapNestBadLineSize(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 1, 4) A[i] = 0 enddoall`, nil)
+	if _, err := MapNest(n, 0); err == nil {
+		t.Fatal("line size 0 accepted")
+	}
+}
+
+func TestMapNestRankConflict(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 1, 4) A[i] = A[i,i] enddoall`, nil)
+	if _, err := MapNest(n, 4); err == nil {
+		t.Fatal("rank conflict accepted")
+	}
+}
+
+func TestMemoryMapUnknownArray(t *testing.T) {
+	n := loopir.MustParse(`doall (i, 1, 4) A[i] = 0 enddoall`, nil)
+	mm, err := MapNest(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mm.AddrOf("Z", []int64{1}); err == nil {
+		t.Fatal("unknown array accepted")
+	}
+}
+
+func BenchmarkAddrOf(b *testing.B) {
+	l, _ := New("A", []int64{0, 0, 0}, []int64{63, 63, 63}, 0)
+	idx := []int64{10, 20, 30}
+	for i := 0; i < b.N; i++ {
+		_, _ = l.AddrOf(idx)
+	}
+}

@@ -1,0 +1,63 @@
+package loopir
+
+import (
+	"testing"
+)
+
+// FuzzParse exercises the lexer and parser against arbitrary inputs. The
+// invariants: Parse never panics; accepted programs re-parse from their
+// printed form to the same rendering (print is a fixed point).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"doall (i, 1, 4) A[i] = 0 enddoall",
+		"doall (i, 101, 200)\ndoall (j, 1, 100)\nA[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3]\nenddoall\nenddoall",
+		"doseq (t, 1, 3) doall (i, 1, 8) l$C[i] = C[i] + A[i,i] enddoall enddoseq",
+		"doall (i, -3, 3) A[2*i, i+1] = B[i] * 2 + (C[i] - 1) enddoall",
+		"doall (i, 1, 4) A[i*i] = 0 enddoall", // non-affine: must error
+		"doall (i, 1, 4) A[i] = 0",            // missing end
+		"doall (i, 1, N) A[i] = 0 enddoall",   // unbound parameter
+		"# comment only",
+		"doall(i,1,4)A[i]=B[i]enddoall",
+		"doall (i, 1, 4) 1$A[i] = A[i] + 1 enddoall",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src, map[string]int64{"N": 8, "T": 2})
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := n.String()
+		n2, err := Parse(printed, nil)
+		if err != nil {
+			t.Fatalf("printed form rejected: %v\ninput: %q\nprinted:\n%s", err, src, printed)
+		}
+		if n2.String() != printed {
+			t.Fatalf("print not a fixed point for %q", src)
+		}
+	})
+}
+
+// FuzzAffineString checks that rendered affine expressions re-parse to
+// the same value.
+func FuzzAffineString(f *testing.F) {
+	f.Add(int64(1), int64(-2), int64(3))
+	f.Add(int64(0), int64(0), int64(0))
+	f.Add(int64(-1), int64(1), int64(-7))
+	f.Fuzz(func(t *testing.T, ci, cj, k int64) {
+		// Bound magnitudes to keep arithmetic safe.
+		ci, cj, k = ci%100, cj%100, k%1000
+		e := NewAffine(k).AddTerm("i", ci).AddTerm("j", cj)
+		src := "doall (i, 1, 4) doall (j, 1, 4) A[" + e.String() + "] = 0 enddoall enddoall"
+		n, err := Parse(src, nil)
+		if err != nil {
+			t.Fatalf("rendered subscript %q rejected: %v", e.String(), err)
+		}
+		got := n.Body[0].LHS.Subs[0]
+		env := map[string]int64{"i": 3, "j": -5}
+		if got.Eval(env) != e.Eval(env) {
+			t.Fatalf("round-trip changed value: %q vs %q", e.String(), got.String())
+		}
+	})
+}

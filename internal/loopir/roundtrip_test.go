@@ -1,0 +1,149 @@
+package loopir
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomNest generates a random valid loop program source.
+func randomNest(rng *rand.Rand) string {
+	var b strings.Builder
+	nSeq := rng.Intn(2)
+	nPar := 1 + rng.Intn(3)
+	vars := []string{}
+	for s := 0; s < nSeq; s++ {
+		v := fmt.Sprintf("t%d", s)
+		lo := rng.Intn(3) + 1
+		fmt.Fprintf(&b, "doseq (%s, %d, %d)\n", v, lo, lo+rng.Intn(3))
+	}
+	for p := 0; p < nPar; p++ {
+		v := fmt.Sprintf("i%d", p)
+		vars = append(vars, v)
+		lo := rng.Intn(4)
+		fmt.Fprintf(&b, "doall (%s, %d, %d)\n", v, lo, lo+1+rng.Intn(6))
+	}
+	nStmts := 1 + rng.Intn(3)
+	arrays := []string{"A", "B", "C"}
+	randSub := func() string {
+		// Affine subscript over the doall variables.
+		terms := []string{}
+		for _, v := range vars {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			c := rng.Intn(5) - 2
+			switch c {
+			case 0:
+				continue
+			case 1:
+				terms = append(terms, v)
+			case -1:
+				terms = append(terms, "-"+v)
+			default:
+				terms = append(terms, fmt.Sprintf("%d*%s", c, v))
+			}
+		}
+		if k := rng.Intn(7) - 3; k != 0 || len(terms) == 0 {
+			terms = append(terms, fmt.Sprintf("%d", k))
+		}
+		out := terms[0]
+		for _, t := range terms[1:] {
+			if strings.HasPrefix(t, "-") {
+				out += t
+			} else {
+				out += "+" + t
+			}
+		}
+		return out
+	}
+	randRef := func() string {
+		arr := arrays[rng.Intn(len(arrays))]
+		dims := 1 + rng.Intn(3)
+		subs := make([]string, dims)
+		for k := range subs {
+			subs[k] = randSub()
+		}
+		return arr + "[" + strings.Join(subs, ",") + "]"
+	}
+	for s := 0; s < nStmts; s++ {
+		lhs := randRef()
+		nReads := 1 + rng.Intn(3)
+		reads := make([]string, nReads)
+		for k := range reads {
+			reads[k] = randRef()
+		}
+		fmt.Fprintf(&b, "%s = %s\n", lhs, strings.Join(reads, " + "))
+	}
+	for p := 0; p < nPar; p++ {
+		b.WriteString("enddoall\n")
+	}
+	for s := 0; s < nSeq; s++ {
+		b.WriteString("enddoseq\n")
+	}
+	return b.String()
+}
+
+func TestRandomProgramRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 300; trial++ {
+		src := randomNest(rng)
+		n, err := Parse(src, nil)
+		if err != nil {
+			t.Fatalf("trial %d: generated program failed to parse: %v\n%s", trial, err, src)
+		}
+		printed := n.String()
+		n2, err := Parse(printed, nil)
+		if err != nil {
+			t.Fatalf("trial %d: printed program failed to re-parse: %v\n%s", trial, err, printed)
+		}
+		if n2.String() != printed {
+			t.Fatalf("trial %d: print → parse → print not a fixed point:\n%s\nvs\n%s",
+				trial, printed, n2.String())
+		}
+		// Structural invariants survive the round trip.
+		if len(n2.Loops) != len(n.Loops) || len(n2.Body) != len(n.Body) {
+			t.Fatalf("trial %d: structure changed", trial)
+		}
+		if n.IterationCount() != n2.IterationCount() {
+			t.Fatalf("trial %d: iteration count changed", trial)
+		}
+	}
+}
+
+func TestRandomProgramTraceStable(t *testing.T) {
+	// The reference trace of an iteration is identical for the original
+	// and the re-parsed program.
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 100; trial++ {
+		src := randomNest(rng)
+		n, err := Parse(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n2, err := Parse(n.String(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := map[string]int64{}
+		for _, l := range n.Loops {
+			env[l.Var] = l.Lo
+		}
+		tr1 := n.TraceIteration(env)
+		tr2 := n2.TraceIteration(env)
+		if len(tr1) != len(tr2) {
+			t.Fatalf("trial %d: trace lengths differ", trial)
+		}
+		for k := range tr1 {
+			if tr1[k].Array != tr2[k].Array || tr1[k].Write != tr2[k].Write {
+				t.Fatalf("trial %d: trace %d differs", trial, k)
+			}
+			for d := range tr1[k].Index {
+				if tr1[k].Index[d] != tr2[k].Index[d] {
+					t.Fatalf("trial %d: trace %d index differs", trial, k)
+				}
+			}
+		}
+	}
+}

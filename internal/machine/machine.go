@@ -1,0 +1,159 @@
+// Package machine models the Alewife-class target of §4: a shared global
+// address space with physically distributed memory, processors at the
+// nodes of a 2-D mesh, and memory access time that grows with the mesh
+// distance between the requesting node and the data's home node. It
+// supplies the placement layer (the third analysis of §4) on top of the
+// cachesim coherence model.
+package machine
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mesh is a W×H grid of nodes numbered row-major: node = y*W + x.
+type Mesh struct {
+	W, H int
+}
+
+// NewMesh validates and builds a mesh.
+func NewMesh(w, h int) (Mesh, error) {
+	if w <= 0 || h <= 0 {
+		return Mesh{}, fmt.Errorf("machine: bad mesh %dx%d", w, h)
+	}
+	return Mesh{W: w, H: h}, nil
+}
+
+// SquarishMesh returns the most square mesh with exactly n nodes.
+func SquarishMesh(n int) (Mesh, error) {
+	if n <= 0 {
+		return Mesh{}, fmt.Errorf("machine: need at least one node")
+	}
+	best := Mesh{W: n, H: 1}
+	for w := 1; w <= n; w++ {
+		if n%w != 0 {
+			continue
+		}
+		h := n / w
+		if abs(w-h) < abs(best.W-best.H) {
+			best = Mesh{W: w, H: h}
+		}
+	}
+	return best, nil
+}
+
+// Nodes returns the node count.
+func (m Mesh) Nodes() int { return m.W * m.H }
+
+// Coord returns the (x, y) position of a node.
+func (m Mesh) Coord(node int) (int, int) {
+	return node % m.W, node / m.W
+}
+
+// Hops returns the Manhattan distance between two nodes (the mesh routing
+// distance).
+func (m Mesh) Hops(a, b int) int {
+	ax, ay := m.Coord(a)
+	bx, by := m.Coord(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// MaxHops returns the mesh diameter.
+func (m Mesh) MaxHops() int { return (m.W - 1) + (m.H - 1) }
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// CostModel prices one memory access on the mesh.
+type CostModel struct {
+	CacheHit    float64 // cost of a cache hit
+	LocalMem    float64 // miss served by the local memory module
+	RemoteBase  float64 // fixed remote-access overhead
+	PerHop      float64 // added cost per mesh hop
+	AtomicExtra float64 // surcharge for synchronizing references
+}
+
+// DefaultCostModel follows the paper's qualitative ordering: cache ≪ local
+// memory < remote memory, with distance a smaller second-order effect
+// ("Placement … is a smaller effect that may become important in very
+// large machines").
+func DefaultCostModel() CostModel {
+	return CostModel{CacheHit: 1, LocalMem: 15, RemoteBase: 30, PerHop: 2, AtomicExtra: 10}
+}
+
+// MissCost prices a miss by proc on a datum homed at home.
+func (c CostModel) MissCost(m Mesh, proc, home int, atomic bool) (float64, int64) {
+	extra := 0.0
+	if atomic {
+		extra = c.AtomicExtra
+	}
+	if proc == home {
+		return c.LocalMem + extra, 0
+	}
+	hops := m.Hops(proc, home)
+	return c.RemoteBase + float64(hops)*c.PerHop + extra, int64(hops)
+}
+
+// Placement maps a datum to its home node.
+type Placement func(array string, index []int64) int
+
+// RoundRobin places elements across nodes by a hash of their flattened
+// index — the "no locality" baseline.
+func RoundRobin(nodes int) Placement {
+	return func(array string, index []int64) int {
+		// FNV-1a over the bytes of the name and each index word.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(array); i++ {
+			h = (h ^ uint64(array[i])) * 1099511628211
+		}
+		for _, v := range index {
+			u := uint64(v)
+			for s := 0; s < 64; s += 8 {
+				h = (h ^ (u >> s & 0xff)) * 1099511628211
+			}
+		}
+		return int(h % uint64(nodes))
+	}
+}
+
+// BlockRows places contiguous blocks of the first index dimension on
+// consecutive nodes (a typical default layout).
+func BlockRows(lo, hi int64, nodes int) Placement {
+	span := hi - lo + 1
+	block := (span + int64(nodes) - 1) / int64(nodes)
+	return func(array string, index []int64) int {
+		if len(index) == 0 {
+			return 0
+		}
+		v := index[0] - lo
+		if v < 0 {
+			v = 0
+		}
+		n := int(v / block)
+		if n >= nodes {
+			n = nodes - 1
+		}
+		return n
+	}
+}
+
+// VirtualToPhysical maps the virtual processor numbering of a loop
+// partition onto mesh nodes; GridPlacement (placement.go) builds
+// locality-preserving mappings and LinearPlacement the naive fallback.
+type VirtualToPhysical func(virtual int) int
+
+// IdentityMap is the trivial placement of virtual processors.
+func IdentityMap() VirtualToPhysical { return func(v int) int { return v } }
+
+// MeanAccessCost is a convenience for reporting: the cost metric divided
+// by accesses.
+func MeanAccessCost(cost float64, accesses int64) float64 {
+	if accesses == 0 {
+		return math.NaN()
+	}
+	return cost / float64(accesses)
+}

@@ -1,0 +1,177 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMeshBasics(t *testing.T) {
+	m, err := NewMesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Nodes() != 8 {
+		t.Fatalf("nodes = %d", m.Nodes())
+	}
+	x, y := m.Coord(5)
+	if x != 1 || y != 1 {
+		t.Fatalf("coord(5) = (%d,%d)", x, y)
+	}
+	if got := m.Hops(0, 5); got != 2 {
+		t.Fatalf("hops(0,5) = %d", got)
+	}
+	if got := m.Hops(3, 3); got != 0 {
+		t.Fatalf("hops(3,3) = %d", got)
+	}
+	if got := m.MaxHops(); got != 4 {
+		t.Fatalf("diameter = %d", got)
+	}
+}
+
+func TestNewMeshErrors(t *testing.T) {
+	if _, err := NewMesh(0, 4); err == nil {
+		t.Error("0-width mesh accepted")
+	}
+	if _, err := SquarishMesh(0); err == nil {
+		t.Error("0-node mesh accepted")
+	}
+}
+
+func TestSquarishMesh(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{16, 4, 4}, {8, 2, 4}, {7, 1, 7}, {12, 3, 4}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		m, err := SquarishMesh(c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Nodes() != c.n {
+			t.Errorf("SquarishMesh(%d) has %d nodes", c.n, m.Nodes())
+		}
+		if abs(m.W-m.H) > abs(c.w-c.h) {
+			t.Errorf("SquarishMesh(%d) = %dx%d, expected as square as %dx%d", c.n, m.W, m.H, c.w, c.h)
+		}
+	}
+}
+
+func TestPropHopsMetric(t *testing.T) {
+	m, _ := NewMesh(5, 5)
+	f := func(a, b, c uint8) bool {
+		na, nb, nc := int(a)%25, int(b)%25, int(c)%25
+		// Symmetry, identity, triangle inequality.
+		if m.Hops(na, nb) != m.Hops(nb, na) {
+			return false
+		}
+		if m.Hops(na, na) != 0 {
+			return false
+		}
+		return m.Hops(na, nc) <= m.Hops(na, nb)+m.Hops(nb, nc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissCost(t *testing.T) {
+	m, _ := NewMesh(4, 4)
+	cm := DefaultCostModel()
+	localCost, hops := cm.MissCost(m, 3, 3, false)
+	if hops != 0 || localCost != cm.LocalMem {
+		t.Fatalf("local = %v hops %d", localCost, hops)
+	}
+	remoteCost, hops := cm.MissCost(m, 0, 15, false)
+	if hops != 6 {
+		t.Fatalf("hops = %d", hops)
+	}
+	if remoteCost != cm.RemoteBase+6*cm.PerHop {
+		t.Fatalf("remote = %v", remoteCost)
+	}
+	atomicCost, _ := cm.MissCost(m, 0, 15, true)
+	if atomicCost <= remoteCost {
+		t.Fatal("atomic surcharge missing")
+	}
+	if localCost >= remoteCost {
+		t.Fatal("remote must cost more than local")
+	}
+}
+
+func TestRoundRobinPlacementCoversNodes(t *testing.T) {
+	p := RoundRobin(8)
+	seen := map[int]bool{}
+	for i := int64(0); i < 1024; i++ {
+		n := p("A", []int64{i, i * 3})
+		if n < 0 || n >= 8 {
+			t.Fatalf("node %d out of range", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d of 8 nodes used", len(seen))
+	}
+	// Deterministic.
+	if p("A", []int64{5, 15}) != p("A", []int64{5, 15}) {
+		t.Fatal("placement not deterministic")
+	}
+	// Array name matters.
+	diff := false
+	for i := int64(0); i < 64; i++ {
+		if p("A", []int64{i}) != p("B", []int64{i}) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("array name ignored by hash placement")
+	}
+}
+
+func TestBlockRowsPlacement(t *testing.T) {
+	p := BlockRows(1, 100, 4)
+	if p("A", []int64{1, 50}) != 0 {
+		t.Error("first block wrong")
+	}
+	if p("A", []int64{100, 1}) != 3 {
+		t.Error("last block wrong")
+	}
+	if p("A", []int64{26, 1}) != 1 {
+		t.Error("second block wrong")
+	}
+	// Out-of-range clamps.
+	if n := p("A", []int64{1000}); n != 3 {
+		t.Errorf("clamp high = %d", n)
+	}
+	if n := p("A", []int64{-5}); n != 0 {
+		t.Errorf("clamp low = %d", n)
+	}
+}
+
+func TestVirtualToPhysical(t *testing.T) {
+	m, _ := NewMesh(4, 4)
+	id := IdentityMap()
+	if id(7) != 7 {
+		t.Fatal("identity broken")
+	}
+	lp := LinearPlacement(m)
+	for v := 0; v < 32; v++ {
+		if n := lp(v); n < 0 || n >= 16 {
+			t.Fatalf("linear(%d) = %d", v, n)
+		}
+	}
+}
+
+func TestMeanAccessCost(t *testing.T) {
+	if MeanAccessCost(100, 50) != 2 {
+		t.Fatal("mean wrong")
+	}
+	if v := MeanAccessCost(100, 0); v == v { // NaN check
+		t.Fatal("expected NaN for zero accesses")
+	}
+}
+
+func BenchmarkHops(b *testing.B) {
+	m, _ := NewMesh(16, 16)
+	for i := 0; i < b.N; i++ {
+		_ = m.Hops(i%256, (i*7)%256)
+	}
+}

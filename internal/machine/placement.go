@@ -1,0 +1,138 @@
+package machine
+
+import (
+	"fmt"
+)
+
+// Placement of virtual processors onto mesh nodes — the third analysis of
+// §4. Loop and data partitioning assign work and arrays to *virtual*
+// processors; the physical mapping decides how many mesh hops each
+// tile-boundary communication costs. The paper calls this "a smaller
+// effect that may become important in very large machines"; GridPlacement
+// quantifies it.
+
+// GridPlacement maps a g₁×g₂×…-dimensional virtual processor grid onto a
+// 2-D mesh so that virtually adjacent processors (neighboring tiles, which
+// exchange halo data) land on nearby nodes. Each grid axis k is split as
+// gₖ = pₖ·qₖ; the p-parts form the mesh x coordinate and the q-parts the
+// y coordinate (a block decomposition: a step of 1 along a virtual axis
+// moves one mesh hop except at a block boundary).
+type GridPlacement struct {
+	Grid []int64 // virtual grid dimensions; Π Grid = mesh nodes
+	Mesh Mesh
+	p, q []int64 // per-axis splits, Πp = mesh.W, Πq = mesh.H
+}
+
+// NewGridPlacement finds per-axis splits matching the mesh exactly,
+// preferring splits that keep whole axes together (fewer cut axes). It
+// returns an error when the grid size differs from the node count or no
+// factorization fits (then LinearPlacement is the fallback).
+func NewGridPlacement(grid []int64, mesh Mesh) (*GridPlacement, error) {
+	total := int64(1)
+	for _, g := range grid {
+		if g <= 0 {
+			return nil, fmt.Errorf("machine: bad grid dimension %d", g)
+		}
+		total *= g
+	}
+	if total != int64(mesh.Nodes()) {
+		return nil, fmt.Errorf("machine: grid %v has %d processors for a %d-node mesh", grid, total, mesh.Nodes())
+	}
+	var best *GridPlacement
+	bestCuts := len(grid) + 1
+	var rec func(k int, xLeft int64, p, q []int64, cuts int)
+	rec = func(k int, xLeft int64, p, q []int64, cuts int) {
+		if cuts >= bestCuts {
+			return
+		}
+		if k == len(grid) {
+			if xLeft == 1 {
+				gp := &GridPlacement{Grid: grid, Mesh: mesh,
+					p: append([]int64(nil), p...), q: append([]int64(nil), q...)}
+				best, bestCuts = gp, cuts
+			}
+			return
+		}
+		g := grid[k]
+		for pk := int64(1); pk <= g; pk++ {
+			if g%pk != 0 || xLeft%pk != 0 {
+				continue
+			}
+			cut := 0
+			if pk != 1 && pk != g {
+				cut = 1
+			}
+			rec(k+1, xLeft/pk, append(p, pk), append(q, g/pk), cuts+cut)
+		}
+	}
+	rec(0, int64(mesh.W), nil, nil, 0)
+	if best == nil {
+		return nil, fmt.Errorf("machine: no per-axis split of grid %v matches a %dx%d mesh", grid, mesh.W, mesh.H)
+	}
+	// Validate the y capacity (implied: Πq = total / Πp = H).
+	qProd := int64(1)
+	for _, v := range best.q {
+		qProd *= v
+	}
+	if qProd != int64(mesh.H) {
+		return nil, fmt.Errorf("machine: internal split mismatch for grid %v", grid)
+	}
+	return best, nil
+}
+
+// NodeOf maps a virtual processor id (row-major in the grid) to its node.
+func (g *GridPlacement) NodeOf(virtual int) int {
+	coords := make([]int64, len(g.Grid))
+	v := int64(virtual)
+	for k := len(g.Grid) - 1; k >= 0; k-- {
+		coords[k] = v % g.Grid[k]
+		v /= g.Grid[k]
+	}
+	x, y := int64(0), int64(0)
+	for k := range g.Grid {
+		// coords[k] = α·q[k] + β with α ∈ [0,p[k]), β ∈ [0,q[k]).
+		alpha := coords[k] / g.q[k]
+		beta := coords[k] % g.q[k]
+		x = x*g.p[k] + alpha
+		y = y*g.q[k] + beta
+	}
+	return int(y)*g.Mesh.W + int(x)
+}
+
+// LinearPlacement is the naive fallback: virtual processor v on node v.
+func LinearPlacement(mesh Mesh) VirtualToPhysical {
+	return func(v int) int { return v % mesh.Nodes() }
+}
+
+// NeighborHopCost sums the mesh distance over all pairs of virtually
+// adjacent processors under the mapping — the cost model for
+// tile-boundary (halo) communication, where each neighboring tile pair
+// exchanges data every epoch.
+func NeighborHopCost(grid []int64, mapping VirtualToPhysical, mesh Mesh) int64 {
+	total := int64(1)
+	for _, g := range grid {
+		total *= g
+	}
+	coords := make([]int64, len(grid))
+	var sum int64
+	for v := int64(0); v < total; v++ {
+		x := v
+		for k := len(grid) - 1; k >= 0; k-- {
+			coords[k] = x % grid[k]
+			x /= grid[k]
+		}
+		// For each +1 neighbor along each axis.
+		for k := range grid {
+			if coords[k]+1 >= grid[k] {
+				continue
+			}
+			stride := int64(1)
+			for j := k + 1; j < len(grid); j++ {
+				stride *= grid[j]
+			}
+			n := v + stride
+			sum += int64(mesh.Hops(mapping(int(v)), mapping(int(n))))
+		}
+	}
+	return sum
+}

@@ -1,0 +1,122 @@
+package machine
+
+import (
+	"testing"
+)
+
+func TestGridPlacementMatchedGrid(t *testing.T) {
+	mesh, _ := NewMesh(4, 4)
+	gp, err := NewGridPlacement([]int64{4, 4}, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Virtual (r, c) row-major; with split=1, x = first axis? Verify the
+	// mapping is a bijection and neighbor-preserving.
+	seen := map[int]bool{}
+	for v := 0; v < 16; v++ {
+		n := gp.NodeOf(v)
+		if n < 0 || n >= 16 {
+			t.Fatalf("NodeOf(%d) = %d", v, n)
+		}
+		if seen[n] {
+			t.Fatalf("node %d assigned twice", n)
+		}
+		seen[n] = true
+	}
+	// Virtually adjacent processors are physically adjacent.
+	cost := NeighborHopCost([]int64{4, 4}, gp.NodeOf, mesh)
+	pairs := int64(4*3 + 4*3) // 24 adjacent pairs
+	if cost != pairs {
+		t.Fatalf("matched grid neighbor cost = %d, want %d (all unit hops)", cost, pairs)
+	}
+}
+
+func TestGridPlacementBeatsLinear(t *testing.T) {
+	// An 8×2 virtual grid on a 4×4 mesh: the linear fold wraps rows and
+	// pays long hops; the factored placement keeps neighbors close.
+	mesh, _ := NewMesh(4, 4)
+	grid := []int64{8, 2}
+	gp, err := NewGridPlacement(grid, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridCost := NeighborHopCost(grid, gp.NodeOf, mesh)
+	linCost := NeighborHopCost(grid, LinearPlacement(mesh), mesh)
+	if gridCost >= linCost {
+		t.Fatalf("grid placement %d not below linear %d", gridCost, linCost)
+	}
+}
+
+func TestGridPlacement3D(t *testing.T) {
+	// 2×2×4 virtual grid on a 4×4 mesh: split after two axes.
+	mesh, _ := NewMesh(4, 4)
+	gp, err := NewGridPlacement([]int64{2, 2, 4}, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for v := 0; v < 16; v++ {
+		n := gp.NodeOf(v)
+		if seen[n] {
+			t.Fatalf("node %d reused", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestGridPlacementErrors(t *testing.T) {
+	mesh, _ := NewMesh(4, 4)
+	if _, err := NewGridPlacement([]int64{3, 5}, mesh); err == nil {
+		t.Error("15 processors on 16 nodes accepted")
+	}
+	if _, err := NewGridPlacement([]int64{0, 16}, mesh); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	// Per-axis splitting handles (2,8): p=(2,2), q=(1,4).
+	gp, err := NewGridPlacement([]int64{2, 8}, mesh)
+	if err != nil {
+		t.Fatalf("(2,8) should split across a 4x4 mesh: %v", err)
+	}
+	seen := map[int]bool{}
+	for v := 0; v < 16; v++ {
+		n := gp.NodeOf(v)
+		if seen[n] {
+			t.Fatalf("node %d reused", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestLinearPlacementWraps(t *testing.T) {
+	mesh, _ := NewMesh(2, 2)
+	lp := LinearPlacement(mesh)
+	if lp(5) != 1 {
+		t.Fatalf("lp(5) = %d", lp(5))
+	}
+}
+
+func TestNeighborHopCostIdentityLowerBound(t *testing.T) {
+	// Any mapping pays at least one hop per virtually adjacent pair on
+	// distinct nodes.
+	mesh, _ := NewMesh(4, 2)
+	grid := []int64{4, 2}
+	gp, err := NewGridPlacement(grid, mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := int64(3*2 + 4*1)
+	if got := NeighborHopCost(grid, gp.NodeOf, mesh); got < pairs {
+		t.Fatalf("cost %d below pair count %d", got, pairs)
+	}
+}
+
+func BenchmarkNeighborHopCost(b *testing.B) {
+	mesh, _ := NewMesh(8, 8)
+	gp, err := NewGridPlacement([]int64{8, 8}, mesh)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		_ = NeighborHopCost([]int64{8, 8}, gp.NodeOf, mesh)
+	}
+}

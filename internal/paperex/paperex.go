@@ -1,0 +1,163 @@
+// Package paperex collects the worked examples of the paper (Agarwal,
+// Kranz, Natarajan 1993) as loop-language sources. They are shared by the
+// test suites, the benchmark harness, and cmd/paperbench so that every
+// layer of the system reproduces exactly the programs the paper analyzes.
+package paperex
+
+import "looppart/internal/loopir"
+
+// Example2 is the paper's Example 2 (§3.1, Figure 3): 100×100 iterations,
+// two uniformly intersecting references to B with G = [[1,1],[1,-1]].
+// Partition a (100×1 strips) incurs 104 misses per tile and zero coherence
+// traffic; partition b (10×10 blocks) incurs 140.
+const Example2 = `
+doall (i, 101, 200)
+  doall (j, 1, 100)
+    A[i,j] = B[i+j, i-j-1] + B[i+j+4, i-j+3]
+  enddoall
+enddoall
+`
+
+// Example3 is the paper's Example 3 (§3.1): a stencil for which
+// parallelogram tiles beat every rectangular partition.
+const Example3 = `
+doall (i, 1, N)
+  doall (j, 1, N)
+    A[i,j] = B[i,j] + B[i+1,j+3]
+  enddoall
+enddoall
+`
+
+// Example6 is the paper's Example 6 (§3.4): footprints under the
+// non-diagonal reference matrix G = [[1,0],[1,1]].
+const Example6 = `
+doall (i, 0, 99)
+  doall (j, 0, 99)
+    A[i,j] = B[i+j,j] + B[i+j+1,j+2]
+  enddoall
+enddoall
+`
+
+// Example8 is the paper's Example 8 (§3.6): the 3-D stencil whose optimal
+// rectangular tile has aspect ratios Li:Lj:Lk = 2:3:4.
+const Example8 = `
+doall (i, 1, N)
+  doall (j, 1, N)
+    doall (k, 1, N)
+      A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3]
+    enddoall
+  enddoall
+enddoall
+`
+
+// Example8Doseq wraps Example 8 in the sequential time loop of Figure 9,
+// turning first-reference misses into steady-state coherence traffic.
+const Example8Doseq = `
+doseq (t, 1, T)
+  doall (i, 1, N)
+    doall (j, 1, N)
+      doall (k, 1, N)
+        A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3]
+      enddoall
+    enddoall
+  enddoall
+enddoseq
+`
+
+// Fig9Stencil is the Figure 9 scenario with steady-state coherence made
+// observable: each epoch consumes the B written by the previous epoch, so
+// tile-boundary elements bounce between owners every time step and the
+// per-epoch coherence traffic follows the spread terms 2LjLk+3LiLk+4LiLj.
+// (Within an epoch the B update races under strict doall semantics; the
+// simulator replays deterministically, and the paper's fine-grain
+// synchronization of Appendix A is how a real run would order the pairs.)
+const Fig9Stencil = `
+doseq (t, 1, T)
+  doall (i, 1, N)
+    doall (j, 1, N)
+      doall (k, 1, N)
+        A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3]
+        B[i,j,k] = A[i,j,k]
+      enddoall
+    enddoall
+  enddoall
+enddoseq
+`
+
+// Example9 is the paper's Example 9 (§3.6): two nontrivial uniformly
+// intersecting classes (B and C) whose footprints add; the rectangular
+// optimum satisfies 4·L11 = 6·L22.
+const Example9 = `
+doall (i, 1, N)
+  doall (j, 1, N)
+    A[i,j] = B[i-2,j] + B[i,j-1] + C[i+j,j] + C[i+j+1,j+3]
+  enddoall
+enddoall
+`
+
+// Example10 is the paper's Example 10 (§3.7): a non-unimodular class B
+// (G = [[1,1],[1,-1]], det −2) and a singular class C handled by maximal
+// independent columns; the rectangular optimum satisfies 2·Li = 3·Lj + 1.
+const Example10 = `
+doall (i, 1, N)
+  doall (j, 1, N)
+    A[i,j] = B[i+j,i-j] + B[i+j+4,i-j+2]
+            + C[i,2*i,i+2*j-1] + C[i+1,2*i+2,i+2*j+1] + C[i,2*i,i+2*j+1]
+  enddoall
+enddoall
+`
+
+// MatmulSync is Figure 11 (Appendix A): matrix multiply written with
+// fine-grain synchronizing accumulates into C.
+const MatmulSync = `
+doall (i, 1, N)
+  doall (j, 1, N)
+    doall (k, 1, N)
+      l$C[i,j] = C[i,j] + A[i,k] * B[k,j]
+    enddoall
+  enddoall
+enddoall
+`
+
+// Example1Ref exercises Example 1's G-matrix form: a reference with zero
+// columns (subscripts independent of all loop indices).
+const Example1Ref = `
+doall (i1, 1, N)
+  doall (i2, 1, N)
+    doall (i3, 1, N)
+      A[i3+2, 5, i2-1, 4] = B[i1, i2, i3]
+    enddoall
+  enddoall
+enddoall
+`
+
+// Example7Ref exercises §3.4.1 / Example 7: the rank-deficient reference
+// A[i, 2i, i+j].
+const Example7Ref = `
+doall (i, 1, N)
+  doall (j, 1, N)
+    B[i,j] = A[i, 2*i, i+j]
+  enddoall
+enddoall
+`
+
+// MustParse parses one of the sources above with the given parameter
+// bindings, panicking on error (the sources are compile-time constants).
+func MustParse(src string, params map[string]int64) *loopir.Nest {
+	return loopir.MustParse(src, params)
+}
+
+// All maps example names to sources, for the CLI tools.
+var All = map[string]string{
+	"example2":      Example2,
+	"example3":      Example3,
+	"example6":      Example6,
+	"example8":      Example8,
+	"example8doseq": Example8Doseq,
+	"fig9stencil":   Fig9Stencil,
+	"example9":      Example9,
+	"example10":     Example10,
+	"matmulsync":    MatmulSync,
+	"example1ref":   Example1Ref,
+	"example7ref":   Example7Ref,
+}

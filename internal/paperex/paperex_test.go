@@ -1,0 +1,72 @@
+package paperex
+
+import (
+	"testing"
+
+	"looppart/internal/footprint"
+	"looppart/internal/loopir"
+)
+
+var defaults = map[string]int64{"N": 16, "T": 2}
+
+func TestAllExamplesParseAndAnalyze(t *testing.T) {
+	for name, src := range All {
+		n, err := loopir.Parse(src, defaults)
+		if err != nil {
+			t.Errorf("%s: parse: %v", name, err)
+			continue
+		}
+		if _, err := footprint.Analyze(n); err != nil {
+			t.Errorf("%s: analyze: %v", name, err)
+		}
+	}
+}
+
+func TestExampleShapes(t *testing.T) {
+	cases := []struct {
+		name    string
+		doall   int
+		doseq   int
+		classes int
+	}{
+		{"example2", 2, 0, 2},
+		{"example3", 2, 0, 2},
+		{"example6", 2, 0, 2},
+		{"example8", 3, 0, 2},
+		{"example8doseq", 3, 1, 2},
+		{"fig9stencil", 3, 1, 2}, // B[i,j,k] joins the B read class (G=I)
+		{"example9", 2, 0, 3},
+		{"example10", 2, 0, 4},
+		{"matmulsync", 3, 0, 3},
+		{"example1ref", 3, 0, 2},
+		{"example7ref", 2, 0, 2},
+	}
+	for _, c := range cases {
+		n, err := loopir.Parse(All[c.name], defaults)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := len(n.DoallLoops()); got != c.doall {
+			t.Errorf("%s: %d doall loops, want %d", c.name, got, c.doall)
+		}
+		if got := len(n.SeqLoops()); got != c.doseq {
+			t.Errorf("%s: %d doseq loops, want %d", c.name, got, c.doseq)
+		}
+		a, err := footprint.Analyze(n)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := len(a.Classes); got != c.classes {
+			t.Errorf("%s: %d classes, want %d", c.name, got, c.classes)
+		}
+	}
+}
+
+func TestMustParsePanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for missing parameter")
+		}
+	}()
+	MustParse(Example8, nil) // N unbound
+}

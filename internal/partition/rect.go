@@ -1,0 +1,256 @@
+// Package partition derives loop partitions that minimize the predicted
+// communication volume: rectangular tilings via discrete search over
+// processor-grid factorizations guided by the paper's closed-form Lagrange
+// ratios (Examples 8–10), hyperparallelepiped (skewed) tilings via a
+// bounded search over integer edge matrices scored with the Theorem 2
+// model, communication-free hyperplane partitions in the style of
+// Ramanujam and Sadayappan, and the Abraham–Hudak rectangular baseline for
+// its restricted program class.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"looppart/internal/footprint"
+	"looppart/internal/tile"
+)
+
+// RectPlan is a rectangular partition: a per-dimension processor grid and
+// the induced tile extents.
+type RectPlan struct {
+	Grid []int64 // processors per dimension; Π Grid = P
+	Ext  []int64 // tile extents per dimension: ceil(N_k / Grid_k)
+
+	// PredictedFootprint is the model cumulative footprint per tile
+	// (misses on an infinite cache) and PredictedTraffic the per-tile
+	// communication term.
+	PredictedFootprint float64
+	PredictedTraffic   float64
+	Exactness          footprint.Exactness
+}
+
+// Tile returns the plan's tile.
+func (p RectPlan) Tile() tile.Tile { return tile.Rect(p.Ext...) }
+
+func (p RectPlan) String() string {
+	return fmt.Sprintf("grid=%v ext=%v footprint=%.1f traffic=%.1f",
+		p.Grid, p.Ext, p.PredictedFootprint, p.PredictedTraffic)
+}
+
+// ContinuousRatios returns the closed-form optimal aspect ratios of the
+// rectangular tile extents, from the Lagrange conditions on the linearized
+// objective Σᵢ cᵢ·Π_{j≠i} Eⱼ with Π Eⱼ fixed: Eᵢ ∝ cᵢ, where
+// cᵢ = Σ_classes |uᵢ| (Example 8's Li:Lj:Lk :: 2:3:4).
+//
+// ok is false if any class required enumeration (no closed form); classes
+// whose footprint is shape-invariant contribute zero. A zero coefficient
+// means the objective does not constrain that dimension (any extent is
+// optimal in the model; larger is better for boundary effects).
+func ContinuousRatios(a *footprint.Analysis) (coeffs []float64, ok bool) {
+	l := len(a.Vars)
+	coeffs = make([]float64, l)
+	for _, c := range a.Classes {
+		if c.FootprintInvariant() {
+			continue
+		}
+		u, _, solvable := c.SpreadCoeffs()
+		if !solvable {
+			return nil, false
+		}
+		for i := range u {
+			coeffs[i] += u[i]
+		}
+	}
+	return coeffs, true
+}
+
+// ContinuousRatiosData is ContinuousRatios with the cumulative spread a⁺
+// (footnote 2) in place of â: the aspect-ratio coefficients for DATA
+// partitioning on local-memory machines, where interior references also
+// cost traffic because remote data is not dynamically replicated. The
+// coefficients dominate the cache (â) coefficients componentwise and
+// differ exactly when a class has interior offsets away from the median.
+func ContinuousRatiosData(a *footprint.Analysis) (coeffs []float64, ok bool) {
+	l := len(a.Vars)
+	coeffs = make([]float64, l)
+	for _, c := range a.Classes {
+		if c.FootprintInvariant() {
+			continue
+		}
+		u, _, solvable := c.CumulativeSpreadCoeffs()
+		if !solvable {
+			return nil, false
+		}
+		for i := range u {
+			coeffs[i] += u[i]
+		}
+	}
+	return coeffs, true
+}
+
+// OptimizeRect finds the rectangular partition of the nest's iteration
+// space over P processors minimizing the predicted cumulative footprint.
+// It enumerates every factorization of P into a processor grid (one factor
+// per doall dimension), computes the induced tile extents, and scores each
+// with the footprint model; ties break toward the most balanced grid.
+func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
+	space := tile.BoundsOf(a.Nest)
+	l := space.Dim()
+	if l == 0 {
+		return RectPlan{}, fmt.Errorf("partition: nest has no doall loops")
+	}
+	if procs <= 0 {
+		return RectPlan{}, fmt.Errorf("partition: need at least one processor")
+	}
+	sizes := space.Extents()
+
+	var best RectPlan
+	found := false
+	for _, grid := range factorizations(int64(procs), l) {
+		ext := make([]int64, l)
+		feasible := true
+		for k := range grid {
+			if grid[k] > sizes[k] {
+				feasible = false
+				break
+			}
+			ext[k] = ceilDiv(sizes[k], grid[k])
+		}
+		if !feasible {
+			continue
+		}
+		fp, ex := a.RectTotalFootprint(ext)
+		cand := RectPlan{Grid: grid, Ext: ext, PredictedFootprint: fp, Exactness: ex}
+		if !found || better(cand, best) {
+			best = cand
+			found = true
+		}
+	}
+	if !found {
+		return RectPlan{}, fmt.Errorf("partition: no feasible grid of %d processors for space %v", procs, sizes)
+	}
+	tr, _ := a.RectTotalTraffic(best.Ext)
+	best.PredictedTraffic = tr
+	return best, nil
+}
+
+// better orders candidate plans: lower footprint wins; ties go to the
+// more balanced grid (smaller max/min factor), then lexicographic.
+func better(a, b RectPlan) bool {
+	const eps = 1e-9
+	if a.PredictedFootprint < b.PredictedFootprint-eps {
+		return true
+	}
+	if a.PredictedFootprint > b.PredictedFootprint+eps {
+		return false
+	}
+	if s, t := spreadOf(a.Grid), spreadOf(b.Grid); s != t {
+		return s < t
+	}
+	for k := range a.Grid {
+		if a.Grid[k] != b.Grid[k] {
+			return a.Grid[k] < b.Grid[k]
+		}
+	}
+	return false
+}
+
+func spreadOf(grid []int64) int64 {
+	mn, mx := grid[0], grid[0]
+	for _, g := range grid {
+		if g < mn {
+			mn = g
+		}
+		if g > mx {
+			mx = g
+		}
+	}
+	return mx - mn
+}
+
+// factorizations enumerates all ordered factorizations of n into k
+// positive factors.
+func factorizations(n int64, k int) [][]int64 {
+	if k == 1 {
+		return [][]int64{{n}}
+	}
+	var out [][]int64
+	for d := int64(1); d <= n; d++ {
+		if n%d != 0 {
+			continue
+		}
+		for _, rest := range factorizations(n/d, k-1) {
+			f := append([]int64{d}, rest...)
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// GridFromRatios picks the factorization of P whose induced extents best
+// match the continuous ratio vector (largest coefficient gets the largest
+// extent). It is the discretization step after ContinuousRatios; unlike
+// OptimizeRect it never evaluates the footprint model, so it shows what
+// closed-form-only optimization (the paper's worked method) produces.
+func GridFromRatios(space tile.Bounds, coeffs []float64, procs int) (RectPlan, error) {
+	l := space.Dim()
+	if len(coeffs) != l {
+		return RectPlan{}, fmt.Errorf("partition: %d coefficients for %d dimensions", len(coeffs), l)
+	}
+	sizes := space.Extents()
+	var best RectPlan
+	bestScore := math.Inf(1)
+	for _, grid := range factorizations(int64(procs), l) {
+		ext := make([]int64, l)
+		feasible := true
+		for k := range grid {
+			if grid[k] > sizes[k] {
+				feasible = false
+				break
+			}
+			ext[k] = ceilDiv(sizes[k], grid[k])
+		}
+		if !feasible {
+			continue
+		}
+		// Score: deviation of extent direction from coefficient
+		// direction, comparing normalized log-ratios (scale-free). Zero
+		// coefficients are unconstrained and excluded.
+		score := 0.0
+		var logs []float64
+		var want []float64
+		for k := range ext {
+			if coeffs[k] <= 0 {
+				continue
+			}
+			logs = append(logs, math.Log(float64(ext[k])))
+			want = append(want, math.Log(coeffs[k]))
+		}
+		if len(logs) > 1 {
+			ml, mw := mean(logs), mean(want)
+			for i := range logs {
+				d := (logs[i] - ml) - (want[i] - mw)
+				score += d * d
+			}
+		}
+		if score < bestScore {
+			bestScore = score
+			best = RectPlan{Grid: grid, Ext: ext}
+		}
+	}
+	if best.Grid == nil {
+		return RectPlan{}, fmt.Errorf("partition: no feasible grid")
+	}
+	return best, nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

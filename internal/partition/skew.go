@@ -1,0 +1,107 @@
+package partition
+
+import (
+	"fmt"
+
+	"looppart/internal/footprint"
+	"looppart/internal/intmat"
+	"looppart/internal/tile"
+)
+
+// Hyperparallelepiped (skewed) partition search. Rectangular tiles are a
+// special case; the paper motivates the general case with Example 3, where
+// a parallelogram tile internalizes the inter-iteration communication that
+// every rectangular tile must pay for.
+//
+// The search enumerates tiles L = D·S where S is a small-entry unimodular
+// skew matrix (so the tiling still covers the integer lattice exactly) and
+// D a diagonal matrix of extents drawn from the factorizations of the
+// per-processor volume, scoring each candidate with the Theorem 2 model
+// (falling back to enumeration for classes without a closed form).
+
+// SkewPlan is the result of the parallelepiped search.
+type SkewPlan struct {
+	Tile               tile.Tile
+	PredictedFootprint float64
+	Exactness          footprint.Exactness
+	// RectBaseline is the best rectangular footprint found during the
+	// same search, for reporting the skew advantage.
+	RectBaseline float64
+}
+
+func (p SkewPlan) String() string {
+	return fmt.Sprintf("%v footprint=%.1f (best rect %.1f)", p.Tile, p.PredictedFootprint, p.RectBaseline)
+}
+
+// unimodularSkews enumerates l×l unimodular matrices of the form
+// I + single off-diagonal entry in [-maxSkew, maxSkew], plus the identity.
+// These generate the practically useful shears; composing two shears is
+// covered by scoring tiles after extent scaling.
+func unimodularSkews(l int, maxSkew int64) []intmat.Mat {
+	out := []intmat.Mat{intmat.Identity(l)}
+	for r := 0; r < l; r++ {
+		for c := 0; c < l; c++ {
+			if r == c {
+				continue
+			}
+			for s := -maxSkew; s <= maxSkew; s++ {
+				if s == 0 {
+					continue
+				}
+				m := intmat.Identity(l)
+				m.Set(r, c, s)
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// OptimizeSkew searches hyperparallelepiped tiles of volume |space|/P for
+// the minimal predicted cumulative footprint. maxSkew bounds the shear
+// entries (2 or 3 covers the paper's examples).
+func OptimizeSkew(a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, error) {
+	space := tile.BoundsOf(a.Nest)
+	l := space.Dim()
+	if l == 0 {
+		return SkewPlan{}, fmt.Errorf("partition: nest has no doall loops")
+	}
+	vol := space.Size() / int64(procs)
+	if vol == 0 {
+		return SkewPlan{}, fmt.Errorf("partition: more processors than iterations")
+	}
+
+	var best SkewPlan
+	bestRect := -1.0
+	found := false
+	for _, ext := range volumeFactorizations(vol, l) {
+		d := intmat.Diag(ext...)
+		for _, s := range unimodularSkews(l, maxSkew) {
+			lmat := d.Mul(s)
+			if !lmat.IsNonsingular() {
+				continue
+			}
+			t := tile.Tile{L: lmat}
+			fp, ex := a.TileTotalFootprint(t)
+			if t.IsRect() && (bestRect < 0 || fp < bestRect) {
+				bestRect = fp
+			}
+			if !found || fp < best.PredictedFootprint {
+				best = SkewPlan{Tile: t, PredictedFootprint: fp, Exactness: ex}
+				found = true
+			}
+		}
+	}
+	if !found {
+		return SkewPlan{}, fmt.Errorf("partition: no feasible tile of volume %d", vol)
+	}
+	best.RectBaseline = bestRect
+	return best, nil
+}
+
+// volumeFactorizations enumerates ordered factorizations of v into l
+// positive extents. Volumes with large prime factors yield few shapes;
+// that matches the reality that load balance constrains tile volumes.
+func volumeFactorizations(v int64, l int) [][]int64 {
+	return factorizations(v, l)
+}

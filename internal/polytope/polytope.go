@@ -1,0 +1,252 @@
+// Package polytope implements Fourier–Motzkin elimination over systems of
+// rational linear inequalities, producing nested loop bounds for the
+// integer points of a polyhedron.
+//
+// The partitioning framework needs this for code generation on
+// hyperparallelepiped tiles (§3.2): a tile of the partition L at tile
+// coordinates c is {i : cⱼ ≤ (i − o)·L⁻¹ⱼ < cⱼ+1}, an intersection of 2l
+// half-spaces plus the iteration-space box — exactly the input FM
+// elimination turns into `for` bounds of the form
+//
+//	max(⌈…⌉, …) ≤ i_k ≤ min(⌊…⌋, …)
+//
+// with the inner bounds affine in the outer loop variables.
+package polytope
+
+import (
+	"fmt"
+	"strings"
+
+	"looppart/internal/rational"
+)
+
+// Constraint is Σ Coef[k]·x_k ≤ Bound.
+type Constraint struct {
+	Coef  []rational.Rat
+	Bound rational.Rat
+}
+
+// System is a conjunction of constraints over n variables.
+type System struct {
+	N    int
+	Cons []Constraint
+}
+
+// NewSystem creates an empty system over n variables.
+func NewSystem(n int) *System {
+	if n <= 0 {
+		panic("polytope: need at least one variable")
+	}
+	return &System{N: n}
+}
+
+// Add appends the constraint Σ coef·x ≤ bound. Coefficients beyond the
+// slice are zero.
+func (s *System) Add(coef []rational.Rat, bound rational.Rat) {
+	c := Constraint{Coef: make([]rational.Rat, s.N), Bound: bound}
+	copy(c.Coef, coef)
+	s.Cons = append(s.Cons, c)
+}
+
+// AddInt is Add with integer coefficients.
+func (s *System) AddInt(coef []int64, bound int64) {
+	rc := make([]rational.Rat, len(coef))
+	for i, v := range coef {
+		rc[i] = rational.FromInt(v)
+	}
+	s.Add(rc, rational.FromInt(bound))
+}
+
+// Bound is one affine bound on a variable: x ≥/≤ (Const + Σ Coef[k]·x_k)
+// / Div, where the sum ranges over the OUTER variables (indices below the
+// bounded one) and Div > 0. For lower bounds the integer bound is the
+// ceiling of the expression; for upper bounds the floor.
+type Bound struct {
+	Coef  []rational.Rat // length = index of the bounded variable
+	Const rational.Rat
+}
+
+// Eval computes the rational value of the bound under outer values.
+func (b Bound) Eval(outer []int64) rational.Rat {
+	v := b.Const
+	for k, c := range b.Coef {
+		if c.IsZero() {
+			continue
+		}
+		v = v.Add(c.Mul(rational.FromInt(outer[k])))
+	}
+	return v
+}
+
+// VarBounds carries the loop bounds of one variable.
+type VarBounds struct {
+	Lower []Bound // x ≥ ceil(max of these)
+	Upper []Bound // x ≤ floor(min of these)
+}
+
+// LoopNest is the result of elimination: bounds for x_0 (outermost)
+// through x_{n-1} (innermost), each in terms of the previous variables.
+type LoopNest struct {
+	N      int
+	Bounds []VarBounds
+	// Infeasible is true when elimination derived a contradiction
+	// (0 ≤ negative): the polyhedron is empty.
+	Infeasible bool
+}
+
+// Eliminate runs Fourier–Motzkin elimination, removing variables from the
+// innermost (x_{n-1}) outward, and returns per-variable bounds.
+func (s *System) Eliminate() *LoopNest {
+	nest := &LoopNest{N: s.N, Bounds: make([]VarBounds, s.N)}
+	cons := append([]Constraint(nil), s.Cons...)
+	for v := s.N - 1; v >= 0; v-- {
+		var lowers, uppers []Bound
+		var rest []Constraint
+		for _, c := range cons {
+			a := c.Coef[v]
+			switch a.Sign() {
+			case 0:
+				rest = append(rest, c)
+			case 1:
+				// a·x ≤ bound − Σ other → x ≤ (bound − Σ)/a.
+				uppers = append(uppers, boundFrom(c, v, a))
+			case -1:
+				// a·x ≤ … with a<0 → x ≥ (bound − Σ)/a (divide flips).
+				lowers = append(lowers, boundFrom(c, v, a))
+			}
+		}
+		nest.Bounds[v] = VarBounds{Lower: lowers, Upper: uppers}
+		// Project: every (lower, upper) pair yields a constraint on the
+		// remaining variables: lower ≤ upper.
+		for _, lo := range lowers {
+			for _, hi := range uppers {
+				c := Constraint{Coef: make([]rational.Rat, s.N)}
+				// lo.Const + Σ lo.Coef·x ≤ hi.Const + Σ hi.Coef·x
+				for k := 0; k < v; k++ {
+					c.Coef[k] = lo.Coef[k].Sub(hi.Coef[k])
+				}
+				c.Bound = hi.Const.Sub(lo.Const)
+				if isZeroVec(c.Coef) {
+					if c.Bound.Sign() < 0 {
+						nest.Infeasible = true
+					}
+					continue
+				}
+				rest = append(rest, c)
+			}
+		}
+		cons = rest
+	}
+	// Any remaining variable-free constraints decide feasibility.
+	for _, c := range cons {
+		if isZeroVec(c.Coef) && c.Bound.Sign() < 0 {
+			nest.Infeasible = true
+		}
+	}
+	return nest
+}
+
+func boundFrom(c Constraint, v int, a rational.Rat) Bound {
+	b := Bound{Coef: make([]rational.Rat, v), Const: c.Bound.Div(a)}
+	for k := 0; k < v; k++ {
+		if c.Coef[k].IsZero() {
+			continue
+		}
+		b.Coef[k] = c.Coef[k].Div(a).Neg()
+	}
+	return b
+}
+
+func isZeroVec(v []rational.Rat) bool {
+	for _, x := range v {
+		if !x.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Range returns the integer range [lo, hi] of variable v under concrete
+// outer values; empty ranges have lo > hi.
+func (n *LoopNest) Range(v int, outer []int64) (int64, int64) {
+	if n.Infeasible {
+		return 1, 0
+	}
+	vb := n.Bounds[v]
+	if len(vb.Lower) == 0 || len(vb.Upper) == 0 {
+		panic(fmt.Sprintf("polytope: variable %d is unbounded", v))
+	}
+	lo := vb.Lower[0].Eval(outer).Ceil()
+	for _, b := range vb.Lower[1:] {
+		if c := b.Eval(outer).Ceil(); c > lo {
+			lo = c
+		}
+	}
+	hi := vb.Upper[0].Eval(outer).Floor()
+	for _, b := range vb.Upper[1:] {
+		if f := b.Eval(outer).Floor(); f < hi {
+			hi = f
+		}
+	}
+	return lo, hi
+}
+
+// Points enumerates all integer points of the polyhedron in lexicographic
+// order.
+func (n *LoopNest) Points() [][]int64 {
+	var out [][]int64
+	if n.Infeasible {
+		return out
+	}
+	x := make([]int64, n.N)
+	var rec func(v int)
+	rec = func(v int) {
+		if v == n.N {
+			out = append(out, append([]int64(nil), x...))
+			return
+		}
+		lo, hi := n.Range(v, x[:v])
+		for val := lo; val <= hi; val++ {
+			x[v] = val
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// String renders the nest bounds symbolically for debugging and codegen
+// comments.
+func (n *LoopNest) String() string {
+	var b strings.Builder
+	for v := 0; v < n.N; v++ {
+		vb := n.Bounds[v]
+		fmt.Fprintf(&b, "x%d: max(", v)
+		for i, lo := range vb.Lower {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(boundString(lo, "ceil"))
+		}
+		b.WriteString(") .. min(")
+		for i, hi := range vb.Upper {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(boundString(hi, "floor"))
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
+
+func boundString(bd Bound, round string) string {
+	expr := bd.Const.String()
+	for k, c := range bd.Coef {
+		if c.IsZero() {
+			continue
+		}
+		expr += fmt.Sprintf(" + %s*x%d", c, k)
+	}
+	return round + "(" + expr + ")"
+}

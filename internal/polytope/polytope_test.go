@@ -1,0 +1,202 @@
+package polytope
+
+import (
+	"math/rand"
+	"testing"
+
+	"looppart/internal/rational"
+)
+
+func TestEliminateBox(t *testing.T) {
+	// 0 ≤ x ≤ 3, 1 ≤ y ≤ 2.
+	s := NewSystem(2)
+	s.AddInt([]int64{1, 0}, 3)
+	s.AddInt([]int64{-1, 0}, 0)
+	s.AddInt([]int64{0, 1}, 2)
+	s.AddInt([]int64{0, -1}, -1)
+	nest := s.Eliminate()
+	if nest.Infeasible {
+		t.Fatal("box infeasible")
+	}
+	pts := nest.Points()
+	if len(pts) != 8 {
+		t.Fatalf("points = %d, want 8: %v", len(pts), pts)
+	}
+	lo, hi := nest.Range(0, nil)
+	if lo != 0 || hi != 3 {
+		t.Fatalf("x range = [%d,%d]", lo, hi)
+	}
+}
+
+func TestEliminateTriangle(t *testing.T) {
+	// x ≥ 0, y ≥ 0, x + y ≤ 3: 10 lattice points.
+	s := NewSystem(2)
+	s.AddInt([]int64{-1, 0}, 0)
+	s.AddInt([]int64{0, -1}, 0)
+	s.AddInt([]int64{1, 1}, 3)
+	nest := s.Eliminate()
+	pts := nest.Points()
+	if len(pts) != 10 {
+		t.Fatalf("points = %d: %v", len(pts), pts)
+	}
+	// Inner range depends on outer: at x=2, y ∈ [0,1].
+	lo, hi := nest.Range(1, []int64{2})
+	if lo != 0 || hi != 1 {
+		t.Fatalf("y range at x=2: [%d,%d]", lo, hi)
+	}
+}
+
+func TestEliminateInfeasible(t *testing.T) {
+	// x ≤ 0 and x ≥ 5.
+	s := NewSystem(1)
+	s.AddInt([]int64{1}, 0)
+	s.AddInt([]int64{-1}, -5)
+	nest := s.Eliminate()
+	if !nest.Infeasible && len(nest.Points()) != 0 {
+		t.Fatalf("expected empty polyhedron, got %v", nest.Points())
+	}
+}
+
+func TestEliminateSkewStrip(t *testing.T) {
+	// 0 ≤ x − y ≤ 2, 0 ≤ x ≤ 4, 0 ≤ y ≤ 4: a diagonal band.
+	s := NewSystem(2)
+	s.AddInt([]int64{1, -1}, 2)
+	s.AddInt([]int64{-1, 1}, 0)
+	s.AddInt([]int64{1, 0}, 4)
+	s.AddInt([]int64{-1, 0}, 0)
+	s.AddInt([]int64{0, 1}, 4)
+	s.AddInt([]int64{0, -1}, 0)
+	nest := s.Eliminate()
+	// Brute-force count.
+	want := 0
+	for x := int64(0); x <= 4; x++ {
+		for y := int64(0); y <= 4; y++ {
+			if d := x - y; d >= 0 && d <= 2 {
+				want++
+			}
+		}
+	}
+	if got := len(nest.Points()); got != want {
+		t.Fatalf("points = %d, want %d", got, want)
+	}
+}
+
+func TestRationalCoefficients(t *testing.T) {
+	// x/2 ≤ 3 → x ≤ 6 (ceil/floor handling of fractional bounds).
+	s := NewSystem(1)
+	s.Add([]rational.Rat{rational.New(1, 2)}, rational.FromInt(3))
+	s.Add([]rational.Rat{rational.New(-1, 2)}, rational.FromInt(0))
+	nest := s.Eliminate()
+	lo, hi := nest.Range(0, nil)
+	if lo != 0 || hi != 6 {
+		t.Fatalf("range = [%d,%d]", lo, hi)
+	}
+}
+
+func TestEliminateMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(2)
+		s := NewSystem(n)
+		// Bounding box keeps brute force finite.
+		for k := 0; k < n; k++ {
+			row := make([]int64, n)
+			row[k] = 1
+			s.AddInt(row, int64(rng.Intn(5)+2))
+			row2 := make([]int64, n)
+			row2[k] = -1
+			s.AddInt(row2, int64(rng.Intn(3)))
+		}
+		// A few random cutting planes.
+		for c := 0; c < 2+rng.Intn(3); c++ {
+			row := make([]int64, n)
+			for k := range row {
+				row[k] = int64(rng.Intn(5) - 2)
+			}
+			s.AddInt(row, int64(rng.Intn(11)-2))
+		}
+		nest := s.Eliminate()
+		got := map[string]bool{}
+		for _, p := range nest.Points() {
+			got[key(p)] = true
+		}
+		// Brute force over the box.
+		want := map[string]bool{}
+		var x []int64
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				for _, c := range s.Cons {
+					v := rational.Zero
+					for d := range x {
+						v = v.Add(c.Coef[d].Mul(rational.FromInt(x[d])))
+					}
+					if v.Cmp(c.Bound) > 0 {
+						return
+					}
+				}
+				want[key(x)] = true
+				return
+			}
+			for v := int64(-4); v <= 8; v++ {
+				x = append(x, v)
+				rec(k + 1)
+				x = x[:len(x)-1]
+			}
+		}
+		rec(0)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: FM found %d points, brute force %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: point %s missing from FM enumeration", trial, k)
+			}
+		}
+	}
+}
+
+func key(p []int64) string {
+	s := ""
+	for _, v := range p {
+		s += string(rune(v+1000)) + ","
+	}
+	return s
+}
+
+func TestRangeUnboundedPanics(t *testing.T) {
+	s := NewSystem(1)
+	s.AddInt([]int64{1}, 5) // no lower bound
+	nest := s.Eliminate()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbounded variable did not panic")
+		}
+	}()
+	nest.Range(0, nil)
+}
+
+func TestStringRendering(t *testing.T) {
+	s := NewSystem(2)
+	s.AddInt([]int64{1, 1}, 3)
+	s.AddInt([]int64{-1, 0}, 0)
+	s.AddInt([]int64{0, -1}, 0)
+	s.AddInt([]int64{1, 0}, 3)
+	out := s.Eliminate().String()
+	if out == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func BenchmarkEliminate3D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSystem(3)
+		s.AddInt([]int64{1, 1, 1}, 10)
+		s.AddInt([]int64{-1, 0, 0}, 0)
+		s.AddInt([]int64{0, -1, 0}, 0)
+		s.AddInt([]int64{0, 0, -1}, 0)
+		s.AddInt([]int64{1, -1, 0}, 2)
+		s.AddInt([]int64{-1, 1, 0}, 2)
+		_ = s.Eliminate()
+	}
+}

@@ -1,0 +1,350 @@
+package rational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCanonical(t *testing.T) {
+	cases := []struct {
+		num, den     int64
+		wantN, wantD int64
+	}{
+		{1, 2, 1, 2},
+		{2, 4, 1, 2},
+		{-2, 4, -1, 2},
+		{2, -4, -1, 2},
+		{-2, -4, 1, 2},
+		{0, 5, 0, 1},
+		{0, -5, 0, 1},
+		{6, 3, 2, 1},
+		{7, 1, 7, 1},
+		{-9, -3, 3, 1},
+	}
+	for _, c := range cases {
+		r := New(c.num, c.den)
+		if r.Num() != c.wantN || r.Den() != c.wantD {
+			t.Errorf("New(%d,%d) = %d/%d, want %d/%d", c.num, c.den, r.Num(), r.Den(), c.wantN, c.wantD)
+		}
+	}
+}
+
+func TestNewZeroDenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(1,0) did not panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var z Rat
+	if !z.IsZero() {
+		t.Error("zero value not zero")
+	}
+	if got := z.Add(One); !got.Equal(One) {
+		t.Errorf("0+1 = %v", got)
+	}
+	if got := z.Mul(New(3, 4)); !got.IsZero() {
+		t.Errorf("0*(3/4) = %v", got)
+	}
+	if z.Den() != 1 {
+		t.Errorf("zero value Den = %d", z.Den())
+	}
+	if z.String() != "0" {
+		t.Errorf("zero value String = %q", z.String())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	half := New(1, 2)
+	third := New(1, 3)
+	if got, want := half.Add(third), New(5, 6); !got.Equal(want) {
+		t.Errorf("1/2+1/3 = %v, want %v", got, want)
+	}
+	if got, want := half.Sub(third), New(1, 6); !got.Equal(want) {
+		t.Errorf("1/2-1/3 = %v, want %v", got, want)
+	}
+	if got, want := half.Mul(third), New(1, 6); !got.Equal(want) {
+		t.Errorf("1/2*1/3 = %v, want %v", got, want)
+	}
+	if got, want := half.Div(third), New(3, 2); !got.Equal(want) {
+		t.Errorf("(1/2)/(1/3) = %v, want %v", got, want)
+	}
+	if got, want := New(-7, 3).Neg(), New(7, 3); !got.Equal(want) {
+		t.Errorf("-(-7/3) = %v, want %v", got, want)
+	}
+	if got, want := New(-7, 3).Abs(), New(7, 3); !got.Equal(want) {
+		t.Errorf("|-7/3| = %v, want %v", got, want)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	One.Div(Zero)
+}
+
+func TestInvOfZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv of zero did not panic")
+		}
+	}()
+	Zero.Inv()
+}
+
+func TestInvSign(t *testing.T) {
+	if got, want := New(-2, 3).Inv(), New(-3, 2); !got.Equal(want) {
+		t.Errorf("inv(-2/3) = %v, want %v", got, want)
+	}
+	if got := New(-2, 3).Inv(); got.Den() <= 0 {
+		t.Errorf("inv produced non-positive denominator: %v", got)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b Rat
+		want int
+	}{
+		{New(1, 2), New(1, 3), 1},
+		{New(1, 3), New(1, 2), -1},
+		{New(2, 4), New(1, 2), 0},
+		{New(-1, 2), New(1, 2), -1},
+		{Zero, Zero, 0},
+		{New(-5, 1), New(-4, 1), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFloorCeil(t *testing.T) {
+	cases := []struct {
+		r           Rat
+		floor, ceil int64
+	}{
+		{New(7, 2), 3, 4},
+		{New(-7, 2), -4, -3},
+		{New(6, 2), 3, 3},
+		{New(-6, 2), -3, -3},
+		{Zero, 0, 0},
+		{New(1, 10), 0, 1},
+		{New(-1, 10), -1, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Floor(); got != c.floor {
+			t.Errorf("Floor(%v) = %d, want %d", c.r, got, c.floor)
+		}
+		if got := c.r.Ceil(); got != c.ceil {
+			t.Errorf("Ceil(%v) = %d, want %d", c.r, got, c.ceil)
+		}
+	}
+}
+
+func TestIntAndIsInt(t *testing.T) {
+	if !New(6, 3).IsInt() {
+		t.Error("6/3 should be int")
+	}
+	if New(6, 4).IsInt() {
+		t.Error("6/4 should not be int")
+	}
+	if got := New(6, 3).Int(); got != 2 {
+		t.Errorf("Int(6/3) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int of non-integer did not panic")
+		}
+	}()
+	New(1, 2).Int()
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 4).String(); got != "3/4" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(-3, 4).String(); got != "-3/4" {
+		t.Errorf("String = %q", got)
+	}
+	if got := FromInt(-5).String(); got != "-5" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	cases := []struct{ a, b, gcd, lcm int64 }{
+		{12, 18, 6, 36},
+		{-12, 18, 6, 36},
+		{0, 5, 5, 0},
+		{5, 0, 5, 0},
+		{0, 0, 0, 0},
+		{7, 13, 1, 91},
+		{4, 4, 4, 4},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.gcd {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.gcd)
+		}
+		if got := LCM(c.a, c.b); got != c.lcm {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, got, c.lcm)
+		}
+	}
+}
+
+func TestExtGCD(t *testing.T) {
+	cases := []struct{ a, b int64 }{
+		{12, 18}, {18, 12}, {-12, 18}, {12, -18}, {-12, -18},
+		{7, 13}, {0, 5}, {5, 0}, {0, 0}, {1, 1}, {240, 46},
+	}
+	for _, c := range cases {
+		g, x, y := ExtGCD(c.a, c.b)
+		if g != GCD(c.a, c.b) {
+			t.Errorf("ExtGCD(%d,%d) g = %d, want %d", c.a, c.b, g, GCD(c.a, c.b))
+		}
+		if c.a*x+c.b*y != g {
+			t.Errorf("ExtGCD(%d,%d): %d*%d + %d*%d != %d", c.a, c.b, c.a, x, c.b, y, g)
+		}
+	}
+}
+
+func TestOverflowPanics(t *testing.T) {
+	big := FromInt(math.MaxInt64)
+	for name, f := range map[string]func(){
+		"add": func() { big.Add(big) },
+		"mul": func() { big.Mul(big) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s overflow did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property-based tests over a bounded random domain.
+
+type smallRat struct{ r Rat }
+
+func genRat(v int64, w int64) Rat {
+	den := w % 1000
+	if den < 0 {
+		den = -den
+	}
+	return New(v%10000, den+1)
+}
+
+func TestPropAddCommutative(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		x, y := genRat(a, b), genRat(c, d)
+		return x.Add(y).Equal(y.Add(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMulDistributesOverAdd(t *testing.T) {
+	f := func(a, b, c, d, e, g int64) bool {
+		x, y, z := genRat(a, b), genRat(c, d), genRat(e, g)
+		return x.Mul(y.Add(z)).Equal(x.Mul(y).Add(x.Mul(z)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAddAssociative(t *testing.T) {
+	f := func(a, b, c, d, e, g int64) bool {
+		x, y, z := genRat(a, b), genRat(c, d), genRat(e, g)
+		return x.Add(y).Add(z).Equal(x.Add(y.Add(z)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSubInverseOfAdd(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		x, y := genRat(a, b), genRat(c, d)
+		return x.Add(y).Sub(y).Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropInvolution(t *testing.T) {
+	f := func(a, b int64) bool {
+		x := genRat(a, b)
+		if x.IsZero() {
+			return true
+		}
+		return x.Inv().Inv().Equal(x) && x.Neg().Neg().Equal(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCanonicalForm(t *testing.T) {
+	f := func(a, b, c, d int64) bool {
+		x := genRat(a, b).Mul(genRat(c, d))
+		return x.Den() > 0 && GCD(x.Num(), x.Den()) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFloorCeilBracket(t *testing.T) {
+	f := func(a, b int64) bool {
+		x := genRat(a, b)
+		fl, ce := FromInt(x.Floor()), FromInt(x.Ceil())
+		if fl.Cmp(x) > 0 || ce.Cmp(x) < 0 {
+			return false
+		}
+		if x.IsInt() {
+			return fl.Equal(ce)
+		}
+		return ce.Sub(fl).Equal(One)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropExtGCDBezout(t *testing.T) {
+	f := func(a, b int32) bool {
+		g, x, y := ExtGCD(int64(a), int64(b))
+		return int64(a)*x+int64(b)*y == g && g == GCD(int64(a), int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := New(355, 113), New(22, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	x, y := New(355, 113), New(22, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}

@@ -1,0 +1,135 @@
+// Package sched implements runtime loop-scheduling baselines — the
+// alternative the paper's introduction argues against: "it is hard for the
+// run time system to optimize for cache locality because much of the
+// information required to compute communication patterns is either
+// unavailable at run time or expensive to obtain" (§1, citing
+// Polychronopoulos & Kuck's guided self-scheduling [1]).
+//
+// The schedulers here hand out chunks of the *linearized* iteration space
+// to processors on demand. They balance load well, but chunk boundaries
+// ignore the data-space geometry, so footprints interleave and coherence
+// traffic grows — exactly the contrast the compile-time partitioner
+// exploits.
+package sched
+
+import (
+	"fmt"
+)
+
+// Policy names a dynamic scheduling discipline.
+type Policy int
+
+const (
+	// Chunked is static chunking: the linearized space is cut into P
+	// equal contiguous chunks (block scheduling of the flattened loop).
+	Chunked Policy = iota
+	// SelfScheduled hands out single iterations round-robin (the
+	// classic self-scheduling limit: perfect balance, worst locality).
+	SelfScheduled
+	// Guided is guided self-scheduling [1]: each grab takes
+	// ⌈remaining/P⌉ iterations, so chunks shrink geometrically.
+	Guided
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Chunked:
+		return "chunked"
+	case SelfScheduled:
+		return "self"
+	case Guided:
+		return "guided"
+	default:
+		return "unknown"
+	}
+}
+
+// Schedule assigns every index of a linearized iteration space of the
+// given size to a processor, simulating the grab order of the policy with
+// processors taking turns round-robin (the idealized, contention-free
+// execution).
+//
+// The returned slice maps linear iteration index → processor.
+func Schedule(policy Policy, size int64, procs int) ([]int, error) {
+	if size < 0 || procs <= 0 {
+		return nil, fmt.Errorf("sched: bad size %d / procs %d", size, procs)
+	}
+	owner := make([]int, size)
+	switch policy {
+	case Chunked:
+		chunk := (size + int64(procs) - 1) / int64(procs)
+		for i := int64(0); i < size; i++ {
+			p := int(i / chunk)
+			if p >= procs {
+				p = procs - 1
+			}
+			owner[i] = p
+		}
+	case SelfScheduled:
+		for i := int64(0); i < size; i++ {
+			owner[i] = int(i % int64(procs))
+		}
+	case Guided:
+		next := int64(0)
+		turn := 0
+		remaining := size
+		for remaining > 0 {
+			grab := (remaining + int64(procs) - 1) / int64(procs)
+			if grab < 1 {
+				grab = 1
+			}
+			for k := int64(0); k < grab && next < size; k++ {
+				owner[next] = turn
+				next++
+			}
+			remaining = size - next
+			turn = (turn + 1) % procs
+		}
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %d", policy)
+	}
+	return owner, nil
+}
+
+// ChunkCount returns how many scheduling grabs the policy performs — the
+// synchronization cost the paper's granularity discussion trades against
+// balance (self-scheduling grabs per iteration; guided O(P·log(size/P))).
+func ChunkCount(policy Policy, size int64, procs int) int64 {
+	switch policy {
+	case Chunked:
+		if size == 0 {
+			return 0
+		}
+		n := int64(procs)
+		if n > size {
+			n = size
+		}
+		return n
+	case SelfScheduled:
+		return size
+	case Guided:
+		count := int64(0)
+		remaining := size
+		for remaining > 0 {
+			grab := (remaining + int64(procs) - 1) / int64(procs)
+			if grab < 1 {
+				grab = 1
+			}
+			remaining -= grab
+			count++
+		}
+		return count
+	default:
+		return 0
+	}
+}
+
+// Linearize maps a multi-dimensional iteration point to its linear index
+// in the lexicographic order of the bounds [lo, hi].
+func Linearize(p, lo, hi []int64) int64 {
+	idx := int64(0)
+	for k := range p {
+		idx = idx*(hi[k]-lo[k]+1) + (p[k] - lo[k])
+	}
+	return idx
+}

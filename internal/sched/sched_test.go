@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestChunkedBalancedAndContiguous(t *testing.T) {
+	owner, err := Schedule(Chunked, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for i, p := range owner {
+		counts[p]++
+		if i > 0 && owner[i-1] > p {
+			t.Fatal("chunked owners not monotone")
+		}
+	}
+	for p := 0; p < 4; p++ {
+		if counts[p] != 25 {
+			t.Fatalf("proc %d owns %d", p, counts[p])
+		}
+	}
+}
+
+func TestChunkedRagged(t *testing.T) {
+	owner, err := Schedule(Chunked, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// chunk = 3: owners 0,0,0,1,1,1,2,2,2,3.
+	if owner[0] != 0 || owner[3] != 1 || owner[9] != 3 {
+		t.Fatalf("owners = %v", owner)
+	}
+}
+
+func TestSelfScheduledRoundRobin(t *testing.T) {
+	owner, err := Schedule(SelfScheduled, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0, 1}
+	for i := range want {
+		if owner[i] != want[i] {
+			t.Fatalf("owners = %v", owner)
+		}
+	}
+}
+
+func TestGuidedShrinkingChunks(t *testing.T) {
+	owner, err := Schedule(Guided, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First grab: ceil(100/4)=25 for proc 0; second: ceil(75/4)=19 for
+	// proc 1; chunks shrink.
+	for i := 0; i < 25; i++ {
+		if owner[i] != 0 {
+			t.Fatalf("owner[%d] = %d", i, owner[i])
+		}
+	}
+	for i := 25; i < 44; i++ {
+		if owner[i] != 1 {
+			t.Fatalf("owner[%d] = %d", i, owner[i])
+		}
+	}
+	// Everything assigned.
+	for i, p := range owner {
+		if p < 0 || p >= 4 {
+			t.Fatalf("owner[%d] = %d", i, p)
+		}
+	}
+}
+
+func TestGuidedCoversAllAndBalances(t *testing.T) {
+	for _, size := range []int64{1, 7, 64, 1000} {
+		owner, err := Schedule(Guided, size, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[int]int64{}
+		for _, p := range owner {
+			counts[p]++
+		}
+		var max, min int64 = 0, size
+		for p := 0; p < 4; p++ {
+			if counts[p] > max {
+				max = counts[p]
+			}
+			if counts[p] < min {
+				min = counts[p]
+			}
+		}
+		// Guided balance: max within 2× of even share (+1 slack for
+		// tiny sizes).
+		if size >= 64 && max > size/2 {
+			t.Fatalf("size %d: max share %d", size, max)
+		}
+	}
+}
+
+func TestChunkCount(t *testing.T) {
+	if got := ChunkCount(Chunked, 100, 4); got != 4 {
+		t.Errorf("chunked grabs = %d", got)
+	}
+	if got := ChunkCount(SelfScheduled, 100, 4); got != 100 {
+		t.Errorf("self grabs = %d", got)
+	}
+	guided := ChunkCount(Guided, 100, 4)
+	if guided <= 4 || guided >= 100 {
+		t.Errorf("guided grabs = %d; expected between P and size", guided)
+	}
+	if got := ChunkCount(Chunked, 0, 4); got != 0 {
+		t.Errorf("empty chunked grabs = %d", got)
+	}
+	if got := ChunkCount(Chunked, 2, 4); got != 2 {
+		t.Errorf("tiny chunked grabs = %d", got)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(Chunked, -1, 4); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := Schedule(Chunked, 10, 0); err == nil {
+		t.Error("0 procs accepted")
+	}
+	if _, err := Schedule(Policy(99), 10, 2); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	lo := []int64{1, 1}
+	hi := []int64{4, 8}
+	if got := Linearize([]int64{1, 1}, lo, hi); got != 0 {
+		t.Errorf("origin = %d", got)
+	}
+	if got := Linearize([]int64{1, 8}, lo, hi); got != 7 {
+		t.Errorf("end of row = %d", got)
+	}
+	if got := Linearize([]int64{2, 1}, lo, hi); got != 8 {
+		t.Errorf("next row = %d", got)
+	}
+	if got := Linearize([]int64{4, 8}, lo, hi); got != 31 {
+		t.Errorf("last = %d", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		Chunked: "chunked", SelfScheduled: "self", Guided: "guided", Policy(9): "unknown",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package looppart implements automatic partitioning of parallel loops for
+// cache-coherent multiprocessors, reproducing the framework of Agarwal,
+// Kranz, and Natarajan (ICPP 1993 / MIT LCS TM-481).
+//
+// Given a perfectly nested doall loop whose array subscripts are affine
+// functions of the loop indices, the library:
+//
+//   - classifies the references into uniformly intersecting sets and
+//     computes their spread vectors (Definitions 4–8),
+//   - models the cumulative data footprint of a candidate loop tile
+//     (Equation 2, Theorems 1–5),
+//   - derives the tile shape minimizing predicted communication, over
+//     rectangular tiles, hyperparallelepiped (skewed) tiles, and
+//     communication-free hyperplane partitions where they exist,
+//   - validates predictions on a cache-coherent multiprocessor simulator
+//     and executes partitioned nests for real on goroutines.
+//
+// The typical flow:
+//
+//	prog, _ := looppart.Parse(src, nil)
+//	plan, _ := prog.Partition(64, looppart.Auto)
+//	metrics, _ := plan.Simulate(looppart.SimOptions{})
+//	fmt.Println(plan, metrics)
+package looppart
+
+import (
+	"fmt"
+	"sort"
+
+	"looppart/internal/cachesim"
+	"looppart/internal/datapart"
+	"looppart/internal/exec"
+	"looppart/internal/footprint"
+	"looppart/internal/loopir"
+	"looppart/internal/machine"
+	"looppart/internal/partition"
+	"looppart/internal/tile"
+)
+
+// Program is a parsed and analyzed loop nest.
+type Program struct {
+	Nest     *loopir.Nest
+	Analysis *footprint.Analysis
+}
+
+// Parse parses the loop-language source (see the README for the grammar;
+// it follows the paper's Doall notation) and runs the reference analysis.
+// Named loop-bound parameters (e.g. N) are resolved against params.
+func Parse(src string, params map[string]int64) (*Program, error) {
+	n, err := loopir.Parse(src, params)
+	if err != nil {
+		return nil, err
+	}
+	a, err := footprint.Analyze(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Nest: n, Analysis: a}, nil
+}
+
+// MustParse is Parse panicking on error, for examples and tests.
+func MustParse(src string, params map[string]int64) *Program {
+	p, err := Parse(src, params)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Strategy selects a partitioning algorithm.
+type Strategy int
+
+const (
+	// Auto prefers a communication-free partition when one exists, and
+	// otherwise the footprint-optimal rectangular partition.
+	Auto Strategy = iota
+	// Rect searches rectangular tiles (Theorem 4 objective).
+	Rect
+	// Skewed searches hyperparallelepiped tiles (Theorem 2 objective).
+	Skewed
+	// CommFree requires a communication-free hyperplane partition and
+	// fails if none exists (the Ramanujam–Sadayappan class).
+	CommFree
+	// Rows, Columns, Blocks are the fixed naive baselines of Figure 3.
+	Rows
+	Columns
+	Blocks
+	// AbrahamHudak runs the baseline algorithm of [6] on its restricted
+	// program class.
+	AbrahamHudak
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Auto:
+		return "auto"
+	case Rect:
+		return "rect"
+	case Skewed:
+		return "skewed"
+	case CommFree:
+		return "comm-free"
+	case Rows:
+		return "rows"
+	case Columns:
+		return "columns"
+	case Blocks:
+		return "blocks"
+	case AbrahamHudak:
+		return "abraham-hudak"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan is a concrete partition: an iteration→processor assignment plus the
+// model predictions that selected it.
+type Plan struct {
+	Program  *Program
+	Strategy Strategy
+	Procs    int
+
+	// Tile is set for tile-shaped plans (rect and skewed).
+	Tile *tile.Tile
+	// Slab is set for communication-free hyperplane plans.
+	Slab *partition.SlabPlan
+
+	// PredictedFootprint and PredictedTraffic are per-tile model values
+	// (footprint only for tile plans).
+	PredictedFootprint float64
+	PredictedTraffic   float64
+
+	assign func(p []int64) int
+}
+
+// Partition derives a plan for P processors with the given strategy.
+func (pr *Program) Partition(procs int, strategy Strategy) (*Plan, error) {
+	switch strategy {
+	case Auto:
+		if plan, err := pr.Partition(procs, CommFree); err == nil {
+			return plan, nil
+		}
+		return pr.Partition(procs, Rect)
+	case Rect:
+		rp, err := partition.OptimizeRect(pr.Analysis, procs)
+		if err != nil {
+			return nil, err
+		}
+		return pr.tilePlan(strategy, procs, rp.Tile(), rp.PredictedFootprint, rp.PredictedTraffic)
+	case Rows, Columns, Blocks:
+		shape := map[Strategy]partition.NaiveShape{
+			Rows: partition.ByRows, Columns: partition.ByColumns, Blocks: partition.ByBlocks,
+		}[strategy]
+		rp, err := partition.Naive(pr.Analysis, procs, shape)
+		if err != nil {
+			return nil, err
+		}
+		return pr.tilePlan(strategy, procs, rp.Tile(), rp.PredictedFootprint, rp.PredictedTraffic)
+	case AbrahamHudak:
+		rp, err := partition.AbrahamHudak(pr.Analysis, procs)
+		if err != nil {
+			return nil, err
+		}
+		return pr.tilePlan(strategy, procs, rp.Tile(), rp.PredictedFootprint, rp.PredictedTraffic)
+	case Skewed:
+		sp, err := partition.OptimizeSkew(pr.Analysis, procs, 3)
+		if err != nil {
+			return nil, err
+		}
+		return pr.tilePlan(strategy, procs, sp.Tile, sp.PredictedFootprint, 0)
+	case CommFree:
+		sp, ok := partition.FindCommFree(pr.Analysis, procs, true)
+		if !ok {
+			return nil, fmt.Errorf("looppart: no communication-free partition exists for this nest")
+		}
+		plan := &Plan{Program: pr, Strategy: strategy, Procs: procs, Slab: &sp}
+		plan.assign = func(p []int64) int { return sp.SlabOf(p, procs) }
+		return plan, nil
+	default:
+		return nil, fmt.Errorf("looppart: unknown strategy %d", strategy)
+	}
+}
+
+func (pr *Program) tilePlan(s Strategy, procs int, t tile.Tile, fp, tr float64) (*Plan, error) {
+	space := tile.BoundsOf(pr.Nest)
+	tl, err := tile.NewTiling(t, space.Lo)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := tile.Assign(tl, space, procs)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{
+		Program: pr, Strategy: s, Procs: procs, Tile: &t,
+		PredictedFootprint: fp, PredictedTraffic: tr,
+		assign: asg.ProcOf,
+	}, nil
+}
+
+// Assign returns the processor executing the given doall iteration point.
+func (p *Plan) Assign(point []int64) int { return p.assign(point) }
+
+// LoadImbalance returns max/mean iterations per processor (1.0 = perfect).
+// Slab plans over skewed hyperplanes can be noticeably imbalanced — the
+// cost of communication-freedom that Figure 3's rectangular partitions
+// avoid.
+func (p *Plan) LoadImbalance() float64 {
+	counts := make([]int64, p.Procs)
+	var total int64
+	tile.BoundsOf(p.Program.Nest).ForEach(func(pt []int64) bool {
+		counts[p.assign(pt)]++
+		total++
+		return true
+	})
+	if total == 0 {
+		return 1
+	}
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) * float64(p.Procs) / float64(total)
+}
+
+// SimulateBlocked replays each processor's iterations in blocked subtile
+// order (§2.2's small-cache regime: subdivide the tile, keep the aspect
+// ratio) on finite caches, processor by processor. subExt gives the
+// subtile extents; cacheLines bounds each cache (0 = infinite, where
+// ordering cannot matter).
+func (p *Plan) SimulateBlocked(subExt []int64, cacheLines int) (cachesim.Metrics, error) {
+	space := tile.BoundsOf(p.Program.Nest)
+	subTiling, err := tile.RectTilingFor(space, subExt)
+	if err != nil {
+		return cachesim.Metrics{}, err
+	}
+	// Group iterations per processor, ordered by subtile then
+	// lexicographic within the subtile.
+	type keyed struct {
+		key   []int64
+		point []int64
+	}
+	perProc := make([][]keyed, p.Procs)
+	space.ForEach(func(pt []int64) bool {
+		q := append([]int64(nil), pt...)
+		proc := p.assign(q)
+		perProc[proc] = append(perProc[proc], keyed{subTiling.Coord(q), q})
+		return true
+	})
+	cfg := cachesim.DefaultConfig(p.Procs)
+	cfg.CacheLines = cacheLines
+	m, err := cachesim.New(cfg)
+	if err != nil {
+		return cachesim.Metrics{}, err
+	}
+	for proc, items := range perProc {
+		sort.SliceStable(items, func(a, b int) bool {
+			return lexLess(items[a].key, items[b].key)
+		})
+		pts := make([][]int64, len(items))
+		for i, it := range items {
+			pts[i] = it.point
+		}
+		if err := cachesim.ReplayPoints(m, p.Program.Nest, proc, pts, nil); err != nil {
+			return cachesim.Metrics{}, err
+		}
+	}
+	return m.Finish(), nil
+}
+
+func lexLess(a, b []int64) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+func (p *Plan) String() string {
+	switch {
+	case p.Slab != nil:
+		return fmt.Sprintf("%s plan for %d procs: %v", p.Strategy, p.Procs, *p.Slab)
+	case p.Tile != nil:
+		return fmt.Sprintf("%s plan for %d procs: %v (predicted footprint %.1f)",
+			p.Strategy, p.Procs, *p.Tile, p.PredictedFootprint)
+	default:
+		return fmt.Sprintf("%s plan for %d procs", p.Strategy, p.Procs)
+	}
+}
+
+// SimOptions parameterizes uniform-memory simulation (Figure 2's model).
+type SimOptions struct {
+	// CacheLines bounds each cache; 0 = infinite (the paper's model).
+	CacheLines int
+}
+
+// Simulate replays the nest on the cache-coherent simulator under this
+// plan and returns the metrics.
+func (p *Plan) Simulate(opts SimOptions) (cachesim.Metrics, error) {
+	cfg := cachesim.DefaultConfig(p.Procs)
+	cfg.CacheLines = opts.CacheLines
+	m, err := cachesim.New(cfg)
+	if err != nil {
+		return cachesim.Metrics{}, err
+	}
+	if err := cachesim.RunNest(m, p.Program.Nest, p.assign); err != nil {
+		return cachesim.Metrics{}, err
+	}
+	return m.Finish(), nil
+}
+
+// MeshOptions parameterizes distributed-memory simulation (§4's Alewife
+// model).
+type MeshOptions struct {
+	// Aligned selects the data-partitioning-and-alignment placement;
+	// false uses hashed (round-robin) placement.
+	Aligned bool
+	// CacheLines bounds each cache; 0 = infinite.
+	CacheLines int
+}
+
+// SimulateMesh replays the nest on a 2-D mesh with distributed memory,
+// homing data by alignment or hashing, and returns the metrics (including
+// Local/RemoteMisses and HopTraffic).
+func (p *Plan) SimulateMesh(opts MeshOptions) (cachesim.Metrics, error) {
+	if p.Tile == nil {
+		return cachesim.Metrics{}, fmt.Errorf("looppart: mesh simulation requires a tile plan")
+	}
+	mesh, err := machine.SquarishMesh(p.Procs)
+	if err != nil {
+		return cachesim.Metrics{}, err
+	}
+	space := tile.BoundsOf(p.Program.Nest)
+	tl, err := tile.NewTiling(*p.Tile, space.Lo)
+	if err != nil {
+		return cachesim.Metrics{}, err
+	}
+	asg, err := tile.Assign(tl, space, p.Procs)
+	if err != nil {
+		return cachesim.Metrics{}, err
+	}
+	place := machine.RoundRobin(p.Procs)
+	if opts.Aligned {
+		al, err := datapart.NewAligner(p.Program.Analysis, asg, place)
+		if err != nil {
+			return cachesim.Metrics{}, err
+		}
+		place = al.Placement()
+	}
+	cost := machine.DefaultCostModel()
+	cfg := cachesim.DefaultConfig(p.Procs)
+	cfg.CacheLines = opts.CacheLines
+	cfg.MissCost = func(proc int, datum string, atomic bool) (float64, int64) {
+		arr, idx, err := ParseDatum(datum)
+		if err != nil {
+			return cost.RemoteBase, int64(mesh.MaxHops())
+		}
+		return cost.MissCost(mesh, proc, place(arr, idx), atomic)
+	}
+	m, err := cachesim.New(cfg)
+	if err != nil {
+		return cachesim.Metrics{}, err
+	}
+	if err := cachesim.RunNest(m, p.Program.Nest, p.assign); err != nil {
+		return cachesim.Metrics{}, err
+	}
+	return m.Finish(), nil
+}
+
+// Execute runs the nest for real on goroutines (one per processor) over a
+// fresh store sized for the nest, and returns the store.
+func (p *Plan) Execute() (exec.Store, error) {
+	st, err := exec.StoreFor(p.Program.Nest)
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.RunParallel(p.Program.Nest, st, p.Procs, p.assign); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ExecuteOn runs the nest under the plan over a caller-provided store.
+func (p *Plan) ExecuteOn(st exec.Store) error {
+	return exec.RunParallel(p.Program.Nest, st, p.Procs, p.assign)
+}
+
+// ParseDatum splits a simulator datum key "A[1,-2]" into its array name
+// and index tuple.
+func ParseDatum(datum string) (string, []int64, error) {
+	open := -1
+	for i := 0; i < len(datum); i++ {
+		if datum[i] == '[' {
+			open = i
+			break
+		}
+	}
+	if open < 0 || len(datum) == 0 || datum[len(datum)-1] != ']' {
+		return "", nil, fmt.Errorf("looppart: malformed datum key %q", datum)
+	}
+	name := datum[:open]
+	body := datum[open+1 : len(datum)-1]
+	var idx []int64
+	v, sign := int64(0), int64(1)
+	started := false
+	for i := 0; i < len(body); i++ {
+		switch c := body[i]; {
+		case c == ',':
+			if !started {
+				return "", nil, fmt.Errorf("looppart: malformed datum key %q", datum)
+			}
+			idx = append(idx, sign*v)
+			v, sign, started = 0, 1, false
+		case c == '-':
+			sign = -1
+		case c >= '0' && c <= '9':
+			v = v*10 + int64(c-'0')
+			started = true
+		default:
+			return "", nil, fmt.Errorf("looppart: malformed datum key %q", datum)
+		}
+	}
+	if !started {
+		return "", nil, fmt.Errorf("looppart: malformed datum key %q", datum)
+	}
+	idx = append(idx, sign*v)
+	return name, idx, nil
+}
