@@ -1,0 +1,15 @@
+.PHONY: build test verify bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Full check: vet, build, race-enabled tests, and a smoke run validating
+# the -trace / -metrics telemetry exports end to end.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	go test -bench=. -benchmem

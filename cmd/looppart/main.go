@@ -16,6 +16,10 @@
 //	                blocks | abraham-hudak (default auto)
 //	-param N=V      bind a loop-bound parameter (repeatable)
 //	-gen            also emit Go source for the tile kernel
+//	-explain        print the decision trace (why the chosen shape won)
+//	-trace FILE     write a Chrome trace-event JSON file
+//	-metrics FILE   write a metrics dump (.json = JSON, else text)
+//	-pprof ADDR     serve net/http/pprof on ADDR (e.g. :6060)
 package main
 
 import (
@@ -27,9 +31,11 @@ import (
 	"strings"
 
 	"looppart"
+	"looppart/internal/cliflag"
 	"looppart/internal/codegen"
 	"looppart/internal/layout"
 	"looppart/internal/paperex"
+	"looppart/internal/telemetry"
 )
 
 type paramFlags map[string]int64
@@ -72,6 +78,9 @@ func run(args []string, out io.Writer) error {
 	procs := fs.Int("procs", 16, "number of processors")
 	strategyName := fs.String("strategy", "auto", "partitioning strategy")
 	gen := fs.Bool("gen", false, "emit Go source for the tile kernel")
+	explain := fs.Bool("explain", false, "print the decision trace (why the chosen shape won)")
+	var obs cliflag.Obs
+	obs.Register(fs)
 	params := paramFlags{"N": 64, "T": 4}
 	fs.Var(params, "param", "loop-bound parameter NAME=VALUE (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +98,18 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown strategy %q", *strategyName)
 	}
 
+	// -explain needs the decision trace even without an output file, so it
+	// too turns the registry on.
+	reg, err := obs.Setup()
+	if err != nil {
+		return err
+	}
+	if reg == nil && *explain {
+		reg = telemetry.New()
+	}
+	prev := telemetry.SetActive(reg)
+	defer telemetry.SetActive(prev)
+
 	prog, err := looppart.Parse(src, params)
 	if err != nil {
 		return err
@@ -104,6 +125,24 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "\n=== partition ===")
 	fmt.Fprintln(out, plan)
+
+	if reg != nil {
+		// Simulate under the chosen plan so the trace and metrics dump
+		// carry the miss counters the model predicted.
+		m, err := plan.Simulate(looppart.SimOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "\n=== simulation ===")
+		fmt.Fprintln(out, m)
+	}
+	if *explain {
+		fmt.Fprintln(out, "\n=== decision trace ===")
+		fmt.Fprint(out, reg.FormatDecisionTrace())
+	}
+	if err := obs.Flush(reg); err != nil {
+		return err
+	}
 
 	if *gen {
 		if plan.Tile == nil {

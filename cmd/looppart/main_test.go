@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -115,5 +116,61 @@ func TestRunGenSkewedKernel(t *testing.T) {
 	}
 	if !strings.Contains(out, "ceilDiv") {
 		t.Error("FM bounds helpers missing")
+	}
+}
+
+func TestRunExplainPrintsDecisionTrace(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-procs", "16", "-explain", "-strategy", "rect", "example2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"=== decision trace ===",
+		"partition.rect.candidate",
+		"partition.rect.chosen",
+		"analysis.class",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in -explain output", want)
+		}
+	}
+}
+
+func TestRunTraceAndMetricsFiles(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.txt")
+	var b strings.Builder
+	err := run([]string{"-procs", "16", "-trace", trace, "-metrics", metrics, "example8"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With telemetry on, the run also simulates so the exports carry
+	// miss counters.
+	if !strings.Contains(b.String(), "=== simulation ===") {
+		t.Errorf("telemetry run did not print the simulation section")
+	}
+	var events []map[string]any
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	text, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-.json metrics paths get the Prometheus text form.
+	if !strings.Contains(string(text), "# TYPE") {
+		t.Errorf("metrics text dump missing # TYPE lines:\n%s", text)
+	}
+	if !strings.Contains(string(text), "cold_misses") {
+		t.Errorf("metrics dump missing simulation counters:\n%s", text)
 	}
 }

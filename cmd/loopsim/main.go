@@ -13,6 +13,9 @@
 //	-cache LINES   finite cache size in lines; 0 = infinite (default 0)
 //	-mesh          also run the distributed-memory mesh comparison
 //	                (aligned vs hashed data placement)
+//	-trace FILE    write a Chrome trace-event JSON file
+//	-metrics FILE  write a metrics dump (.json = JSON, else text)
+//	-pprof ADDR    serve net/http/pprof on ADDR (e.g. :6060)
 package main
 
 import (
@@ -25,7 +28,9 @@ import (
 	"text/tabwriter"
 
 	"looppart"
+	"looppart/internal/cliflag"
 	"looppart/internal/paperex"
+	"looppart/internal/telemetry"
 )
 
 type paramFlags map[string]int64
@@ -57,6 +62,8 @@ func run(args []string, out io.Writer) error {
 	procs := fs.Int("procs", 16, "number of processors")
 	cache := fs.Int("cache", 0, "cache lines per processor (0 = infinite)")
 	mesh := fs.Bool("mesh", false, "run the mesh placement comparison")
+	var obs cliflag.Obs
+	obs.Register(fs)
 	params := paramFlags{"N": 64, "T": 4}
 	fs.Var(params, "param", "loop-bound parameter NAME=VALUE (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +72,12 @@ func run(args []string, out io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("expected one program file or example name")
 	}
+	reg, err := obs.Setup()
+	if err != nil {
+		return err
+	}
+	prev := telemetry.SetActive(reg)
+	defer telemetry.SetActive(prev)
 	src, ok := paperex.All[strings.ToLower(fs.Arg(0))]
 	if !ok {
 		data, err := os.ReadFile(fs.Arg(0))
@@ -129,5 +142,5 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return obs.Flush(reg)
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -61,5 +64,41 @@ func TestInfeasibleStrategyReportedInline(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "—") {
 		t.Errorf("inline error marker missing:\n%s", b.String())
+	}
+}
+
+func TestRunTelemetryExports(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	var b strings.Builder
+	err := run([]string{"-procs", "16", "-trace", trace, "-metrics", metrics, "example2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	data, err = os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics is not a JSON snapshot: %v", err)
+	}
+	// Each of the six strategies simulates under its own prefix; the two
+	// always-feasible baselines must both be present and distinct.
+	for _, name := range []string{"sim.rows.cold_misses", "sim.columns.cold_misses"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s missing from metrics dump", name)
+		}
 	}
 }

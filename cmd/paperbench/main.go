@@ -4,42 +4,79 @@
 //
 // Usage:
 //
-//	paperbench [-id EID]
+//	paperbench [flags] [-id EID]
 //
-// With -id, only the named experiment (e.g. E8) runs.
+// With -id, only the named experiment (e.g. E8) runs; an unknown id lists
+// the known experiments and exits non-zero.
+//
+// Flags:
+//
+//	-id EID        run only this experiment
+//	-trace FILE    write a Chrome trace-event JSON file of the run
+//	-metrics FILE  write a metrics dump (.json = JSON, else text)
+//	-pprof ADDR    serve net/http/pprof on ADDR (e.g. :6060)
+//
+// With -trace or -metrics, each experiment also prints its per-experiment
+// telemetry snapshot size (counters recorded while it ran).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"looppart/internal/cliflag"
 	"looppart/internal/experiments"
 )
 
 func main() {
-	id := flag.String("id", "", "run only this experiment (E1..E14)")
-	flag.Parse()
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+	}
+	os.Exit(code)
+}
 
-	var results []experiments.Result
-	if *id == "" {
-		results = experiments.All()
-	} else {
-		all := experiments.All()
-		for _, r := range all {
-			if r.ID == *id {
-				results = append(results, r)
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	id := fs.String("id", "", "run only this experiment (E1..E21)")
+	var obs cliflag.Obs
+	obs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	reg, err := obs.Setup()
+	if err != nil {
+		return 2, err
+	}
+
+	var ids []string
+	if *id != "" {
+		ids = []string{*id}
+	}
+	results, err := experiments.RunAll(ids, reg)
+	if err != nil {
+		// Unknown experiment id: the error lists the known IDs.
+		return 2, err
+	}
+	fmt.Fprint(out, experiments.FormatTable(results))
+	if reg != nil {
+		for _, r := range results {
+			if r.Telemetry != nil {
+				fmt.Fprintf(out, "%s telemetry: %d counters, %d gauges, %d histograms\n",
+					r.ID, len(r.Telemetry.Counters), len(r.Telemetry.Gauges), len(r.Telemetry.Histograms))
 			}
 		}
-		if len(results) == 0 {
-			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q\n", *id)
-			os.Exit(2)
-		}
 	}
-	fmt.Print(experiments.FormatTable(results))
+	if err := obs.Flush(reg); err != nil {
+		return 1, err
+	}
 	for _, r := range results {
 		if !r.Pass {
-			os.Exit(1)
+			return 1, nil
 		}
 	}
+	return 0, nil
 }

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"-id", "E1"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(b.String(), "E1") {
+		t.Errorf("table missing E1:\n%s", b.String())
+	}
+}
+
+func TestRunUnknownIDListsExperiments(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"-id", "E99"}, &b)
+	if code == 0 {
+		t.Fatalf("unknown -id accepted (exit 0)")
+	}
+	if err == nil {
+		t.Fatal("unknown -id produced no error")
+	}
+	for _, want := range []string{"E99", "E1", "E21"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestRunWithTelemetryExports(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	var b strings.Builder
+	code, err := run([]string{"-id", "E8", "-trace", trace, "-metrics", metrics}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(b.String(), "telemetry:") {
+		t.Errorf("per-experiment telemetry summary missing:\n%s", b.String())
+	}
+	for _, path := range []string{trace, metrics} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package cachesim
+
+import (
+	"testing"
+
+	"looppart/internal/telemetry"
+)
+
+func TestMetricsMissesPerProc(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Metrics
+		want float64
+	}{
+		{"zero procs (zero value)", Metrics{}, 0},
+		{"zero procs with misses", Metrics{ColdMisses: 10, CoherenceMisses: 5}, 0},
+		{"one proc", Metrics{Procs: 1, ColdMisses: 7}, 7},
+		{"even split", Metrics{Procs: 4, ColdMisses: 8, CoherenceMisses: 4}, 3},
+		{"capacity counted", Metrics{Procs: 2, ColdMisses: 1, CoherenceMisses: 2, CapacityMisses: 3}, 3},
+		{"no misses", Metrics{Procs: 8}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.m.MissesPerProc(); got != tc.want {
+				t.Errorf("MissesPerProc() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Metrics
+		want string
+	}{
+		{
+			"zero value",
+			Metrics{},
+			"misses=0 (cold=0 coherence=0 capacity=0) inval=0 traffic=0 shared=0 cost=0",
+		},
+		{
+			"all fields",
+			Metrics{
+				Procs: 4, ColdMisses: 10, CoherenceMisses: 20, CapacityMisses: 30,
+				Invalidations: 5, NetworkTraffic: 65, SharedData: 7, Cost: 1234.4,
+			},
+			"misses=60 (cold=10 coherence=20 capacity=30) inval=5 traffic=65 shared=7 cost=1234",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.m.String(); got != tc.want {
+				t.Errorf("String() = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMetricsPublish(t *testing.T) {
+	m := Metrics{
+		Procs: 2, Accesses: 100, ColdMisses: 10, CoherenceMisses: 4,
+		CapacityMisses: 1, Invalidations: 3, NetworkTraffic: 18,
+		SharedData: 6, Cost: 321.5, PerProc: []int64{9, 6},
+	}
+	reg := telemetry.New()
+	m.Publish(reg, "sim.test.")
+	snap := reg.Snapshot()
+	wantCounters := map[string]int64{
+		"sim.test.accesses":         100,
+		"sim.test.misses":           15,
+		"sim.test.cold_misses":      10,
+		"sim.test.coherence_misses": 4,
+		"sim.test.capacity_misses":  1,
+		"sim.test.invalidations":    3,
+		"sim.test.network_traffic":  18,
+		"sim.test.shared_data":      6,
+		"sim.test.proc.0.misses":    9,
+		"sim.test.proc.1.misses":    6,
+	}
+	for name, want := range wantCounters {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges["sim.test.cost"]; got != 321.5 {
+		t.Errorf("cost gauge = %v, want 321.5", got)
+	}
+	if got := snap.Gauges["sim.test.misses_per_proc"]; got != 7.5 {
+		t.Errorf("misses_per_proc gauge = %v, want 7.5", got)
+	}
+	// Publishing to a nil registry must be a no-op, not a panic.
+	m.Publish(nil, "x.")
+}

@@ -1,0 +1,40 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"looppart/internal/telemetry"
+)
+
+// Publish feeds the simulation metrics into a telemetry registry so
+// simulated misses and real wall time land in one report. prefix
+// namespaces the counters (e.g. "sim.rect."); per-processor miss counts
+// publish as <prefix>proc.<i>.misses. A nil registry is a no-op.
+func (m Metrics) Publish(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"accesses", m.Accesses},
+		{"misses", m.Misses()},
+		{"cold_misses", m.ColdMisses},
+		{"coherence_misses", m.CoherenceMisses},
+		{"capacity_misses", m.CapacityMisses},
+		{"invalidations", m.Invalidations},
+		{"network_traffic", m.NetworkTraffic},
+		{"shared_data", m.SharedData},
+		{"hop_traffic", m.HopTraffic},
+		{"local_misses", m.LocalMisses},
+		{"remote_misses", m.RemoteMisses},
+	} {
+		reg.Counter(prefix + c.name).Add(c.v)
+	}
+	reg.Gauge(prefix + "cost").Set(m.Cost)
+	reg.Gauge(prefix + "misses_per_proc").Set(m.MissesPerProc())
+	for p, v := range m.PerProc {
+		reg.Counter(fmt.Sprintf("%sproc.%d.misses", prefix, p)).Add(v)
+	}
+}

@@ -1,0 +1,86 @@
+// Package cliflag holds the observability flag plumbing shared by the
+// looppart, loopsim, and paperbench commands: -trace (Chrome trace-event
+// JSON), -metrics (flat metrics dump, JSON or Prometheus-style text by
+// file extension), and -pprof (net/http/pprof listener).
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"looppart/internal/telemetry"
+)
+
+// Obs carries the parsed observability flag values.
+type Obs struct {
+	TracePath   string
+	MetricsPath string
+	PprofAddr   string
+}
+
+// Register adds the observability flags to fs.
+func (o *Obs) Register(fs *flag.FlagSet) {
+	fs.StringVar(&o.TracePath, "trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing)")
+	fs.StringVar(&o.MetricsPath, "metrics", "", "write a metrics dump (.json = JSON snapshot, otherwise Prometheus-style text)")
+	fs.StringVar(&o.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+}
+
+// Enabled reports whether any flag asks for telemetry output.
+func (o *Obs) Enabled() bool { return o.TracePath != "" || o.MetricsPath != "" }
+
+// Setup starts the pprof listener if requested and, when any telemetry
+// output is enabled, returns a fresh registry for the caller to install
+// with telemetry.SetActive (nil when telemetry stays off).
+func (o *Obs) Setup() (*telemetry.Registry, error) {
+	if o.PprofAddr != "" {
+		addr, err := telemetry.StartPprof(o.PprofAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof\n", addr)
+	}
+	if !o.Enabled() {
+		return nil, nil
+	}
+	return telemetry.New(), nil
+}
+
+// Flush writes the requested output files from reg. Safe to call with a
+// nil registry (writes empty but valid files if paths were given).
+func (o *Obs) Flush(reg *telemetry.Registry) error {
+	if o.TracePath != "" {
+		f, err := os.Create(o.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := reg.WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.MetricsPath != "" {
+		f, err := os.Create(o.MetricsPath)
+		if err != nil {
+			return err
+		}
+		var werr error
+		if strings.HasSuffix(o.MetricsPath, ".json") {
+			werr = reg.WriteMetricsJSON(f)
+		} else {
+			werr = reg.WriteMetricsText(f)
+		}
+		if werr != nil {
+			f.Close()
+			return werr
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

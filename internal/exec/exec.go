@@ -12,10 +12,13 @@ package exec
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"time"
 
 	"looppart/internal/layout"
 	"looppart/internal/loopir"
+	"looppart/internal/telemetry"
 )
 
 // Array is a dense multidimensional float64 array with explicit bounds per
@@ -31,6 +34,30 @@ type Array struct {
 	// strides for row-major layout.
 	strides []int64
 	mu      []sync.Mutex // striped locks for atomic accumulates
+	// acquisitions/contended count striped-lock traffic when telemetry is
+	// active at allocation time; both nil otherwise (zero overhead).
+	acquisitions *telemetry.Counter
+	contended    *telemetry.Counter
+}
+
+// stripeCount sizes the striped-lock pool for an array of size elements:
+// enough stripes that GOMAXPROCS writers rarely collide on a lock they
+// would not collide on as elements (4× oversubscription, rounded up to a
+// power of two), but never more stripes than elements and never an
+// unbounded pool for huge arrays.
+func stripeCount(size int64) int {
+	target := 4 * runtime.GOMAXPROCS(0)
+	n := 8
+	for n < target {
+		n <<= 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	for int64(n) > size && n > 1 {
+		n >>= 1
+	}
+	return n
 }
 
 // NewArray allocates an array covering [lo[k], hi[k]] per dimension.
@@ -51,8 +78,30 @@ func NewArray(name string, lo, hi []int64) (*Array, error) {
 	if size > maxElems {
 		return nil, fmt.Errorf("exec: array %s too large (%d elements)", name, size)
 	}
-	mu := make([]sync.Mutex, 64)
-	return &Array{Name: name, Lo: lo, Hi: hi, data: make([]float64, size), strides: strides, mu: mu}, nil
+	a := &Array{Name: name, Lo: lo, Hi: hi, data: make([]float64, size), strides: strides,
+		mu: make([]sync.Mutex, stripeCount(size))}
+	if reg := telemetry.Active(); reg != nil {
+		a.acquisitions = reg.Counter("exec.atomic.acquisitions")
+		a.contended = reg.Counter("exec.atomic.contended")
+		reg.Gauge("exec.array." + name + ".stripes").Set(float64(len(a.mu)))
+	}
+	return a, nil
+}
+
+// lockStripe acquires the stripe lock for off, counting contended
+// acquisitions when telemetry was active at allocation.
+func (a *Array) lockStripe(off int64) *sync.Mutex {
+	m := &a.mu[off%int64(len(a.mu))]
+	if a.acquisitions == nil {
+		m.Lock()
+		return m
+	}
+	a.acquisitions.Add(1)
+	if !m.TryLock() {
+		a.contended.Add(1)
+		m.Lock()
+	}
+	return m
 }
 
 func (a *Array) offset(idx []int64) (int64, bool) {
@@ -90,8 +139,7 @@ func (a *Array) AtomicAdd(idx []int64, v float64) {
 	if !ok {
 		return
 	}
-	m := &a.mu[off%int64(len(a.mu))]
-	m.Lock()
+	m := a.lockStripe(off)
 	a.data[off] += v
 	m.Unlock()
 }
@@ -104,8 +152,7 @@ func (a *Array) AtomicUpdate(idx []int64, fn func(old float64) float64) {
 	if !ok {
 		return
 	}
-	m := &a.mu[off%int64(len(a.mu))]
-	m.Lock()
+	m := a.lockStripe(off)
 	a.data[off] = fn(a.data[off])
 	m.Unlock()
 }
@@ -319,12 +366,44 @@ func RunParallel(n *loopir.Nest, st Store, procs int, assign func(p []int64) int
 		return bad
 	}
 
+	reg := telemetry.Active()
+	if reg != nil {
+		// The iteration→processor split is fixed across epochs, so the
+		// load-imbalance ratio (max/mean iterations, 1.0 = perfect) is
+		// known before running.
+		var total, maxIters int64
+		for proc := 0; proc < procs; proc++ {
+			c := int64(len(work[proc]))
+			total += c
+			if c > maxIters {
+				maxIters = c
+			}
+			reg.Counter(fmt.Sprintf("exec.proc.%d.iterations", proc)).Add(c)
+		}
+		reg.Counter("exec.iterations").Add(total)
+		if total > 0 {
+			reg.Gauge("exec.load_imbalance").Set(float64(maxIters) * float64(procs) / float64(total))
+		}
+	}
+
+	epoch := 0
 	runEpoch := func(extra map[string]int64) {
 		var wg sync.WaitGroup
+		epochSpan := reg.StartSpan("exec.epoch")
+		epochSpan.SetArg("epoch", epoch)
+		epochStart := time.Now()
+		var tileDur []time.Duration
+		if reg != nil {
+			tileDur = make([]time.Duration, procs)
+		}
 		for proc := 0; proc < procs; proc++ {
 			wg.Add(1)
-			go func(items []map[string]int64) {
+			go func(proc int, items []map[string]int64) {
 				defer wg.Done()
+				sp := reg.StartSpanProc("exec.tile", proc)
+				sp.SetArg("epoch", epoch)
+				sp.SetArg("iters", len(items))
+				start := time.Now()
 				for _, env := range items {
 					full := env
 					if len(extra) > 0 {
@@ -335,9 +414,29 @@ func RunParallel(n *loopir.Nest, st Store, procs int, assign func(p []int64) int
 					}
 					runIteration(n, st, full)
 				}
-			}(work[proc])
+				if tileDur != nil {
+					tileDur[proc] = time.Since(start)
+				}
+				sp.End()
+			}(proc, work[proc])
 		}
 		wg.Wait() // barrier after the doall nest
+		epochSpan.End()
+		if reg != nil {
+			// Every processor waits at the barrier from its own finish
+			// until the slowest tile completes.
+			epochDur := time.Since(epochStart)
+			for proc := 0; proc < procs; proc++ {
+				reg.Histogram("exec.tile_wall_ns").Observe(tileDur[proc])
+				wait := epochDur - tileDur[proc]
+				if wait < 0 {
+					wait = 0
+				}
+				reg.Histogram("exec.barrier_wait_ns").Observe(wait)
+			}
+			reg.Counter("exec.epochs").Add(1)
+		}
+		epoch++
 	}
 
 	seqLoops := n.SeqLoops()

@@ -16,6 +16,7 @@ import (
 	"looppart/internal/lattice"
 	"looppart/internal/paperex"
 	"looppart/internal/partition"
+	"looppart/internal/telemetry"
 	"looppart/internal/tile"
 )
 
@@ -37,6 +38,10 @@ type Result struct {
 	// Pass reports whether the measured values support the claim.
 	Pass bool
 	Err  error
+	// Telemetry holds the per-experiment instrument snapshot when the
+	// experiment ran under an active telemetry registry (see RunAll);
+	// nil otherwise.
+	Telemetry *telemetry.Snapshot
 }
 
 func (r Result) String() string {
@@ -55,13 +60,84 @@ func (r Result) String() string {
 	return b.String()
 }
 
+// Catalog lists every experiment in run order, so callers can enumerate,
+// filter, or run them individually.
+var Catalog = []struct {
+	ID  string
+	Run func() Result
+}{
+	{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5},
+	{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
+	{"E11", E11}, {"E12", E12}, {"E13", E13}, {"E14", E14},
+	{"E15", E15}, {"E16", E16}, {"E17", E17}, {"E18", E18},
+	{"E19", E19}, {"E20", E20}, {"E21", E21},
+}
+
+// IDs returns the known experiment IDs in run order.
+func IDs() []string {
+	out := make([]string, len(Catalog))
+	for i, e := range Catalog {
+		out[i] = e.ID
+	}
+	return out
+}
+
 // All runs every experiment.
 func All() []Result {
-	return []Result{
-		E1(), E2(), E3(), E4(), E5(), E6(), E7(),
-		E8(), E9(), E10(), E11(), E12(), E13(), E14(),
-		E15(), E16(), E17(), E18(), E19(), E20(), E21(),
+	results, _ := RunAll(nil, nil)
+	return results
+}
+
+// RunAll runs the selected experiments (nil or empty ids = all). When reg
+// is non-nil it is installed as the active telemetry registry for the
+// duration (restoring the previous one afterwards); each experiment then
+// runs inside an experiment.<ID> span and carries the per-experiment
+// snapshot delta in Result.Telemetry. Unknown ids produce an error listing
+// the known IDs.
+func RunAll(ids []string, reg *telemetry.Registry) ([]Result, error) {
+	selected := Catalog
+	if len(ids) > 0 {
+		selected = selected[:0:0]
+		for _, id := range ids {
+			found := false
+			for _, e := range Catalog {
+				if e.ID == id {
+					selected = append(selected, e)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+			}
+		}
 	}
+	if reg != nil {
+		prev := telemetry.SetActive(reg)
+		defer telemetry.SetActive(prev)
+	}
+	results := make([]Result, 0, len(selected))
+	for _, e := range selected {
+		if reg == nil {
+			results = append(results, e.Run())
+			continue
+		}
+		before := reg.Snapshot()
+		eventsBefore, spansBefore := len(reg.Events()), len(reg.Spans())
+		sp := reg.StartSpan("experiment." + e.ID)
+		r := e.Run()
+		sp.End()
+		delta := reg.Snapshot().Delta(before)
+		delta.Counters["telemetry.events"] = int64(len(reg.Events()) - eventsBefore)
+		delta.Counters["telemetry.spans"] = int64(len(reg.Spans()) - spansBefore)
+		r.Telemetry = &delta
+		reg.Counter("experiments.run").Add(1)
+		if r.Pass {
+			reg.Counter("experiments.pass").Add(1)
+		}
+		results = append(results, r)
+	}
+	return results, nil
 }
 
 // FormatTable renders results for the CLI.

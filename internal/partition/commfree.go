@@ -5,6 +5,7 @@ import (
 
 	"looppart/internal/footprint"
 	"looppart/internal/intmat"
+	"looppart/internal/telemetry"
 )
 
 // Communication-free loop partitioning in the style of Ramanujam and
@@ -131,8 +132,10 @@ func (s SlabPlan) SlabOf(p []int64, procs int) int {
 // FindCommFree looks for a communication-free slab partition of the
 // analysis over P processors. It returns ok = false when none exists.
 func FindCommFree(a *footprint.Analysis, procs int, includeReadOnly bool) (SlabPlan, bool) {
+	reg := telemetry.Active()
 	normals := CommFreeNormals(a, includeReadOnly)
 	if len(normals) == 0 {
+		reg.Emit("partition.commfree.none", "no conflict-orthogonal normal", nil)
 		return SlabPlan{}, false
 	}
 	// Prefer the normal giving the widest slabs (most h·i levels per
@@ -143,6 +146,11 @@ func FindCommFree(a *footprint.Analysis, procs int, includeReadOnly bool) (SlabP
 	for _, h := range normals {
 		lo, hi := hyperplaneRange(h, space.Lo, space.Hi)
 		levels := hi - lo + 1
+		reg.Emit("partition.commfree.candidate", fmt.Sprintf("normal=%v", h), map[string]any{
+			"normal":   fmt.Sprint(h),
+			"levels":   levels,
+			"feasible": levels >= int64(procs),
+		})
 		if levels < int64(procs) {
 			continue // cannot give every processor work
 		}
@@ -152,6 +160,12 @@ func FindCommFree(a *footprint.Analysis, procs int, includeReadOnly bool) (SlabP
 			best = plan
 			found = true
 		}
+	}
+	if found {
+		reg.Emit("partition.commfree.chosen", fmt.Sprintf("normal=%v", best.Normal), map[string]any{
+			"normal": fmt.Sprint(best.Normal),
+			"width":  best.Width,
+		})
 	}
 	return best, found
 }

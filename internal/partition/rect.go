@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"looppart/internal/footprint"
+	"looppart/internal/telemetry"
 	"looppart/internal/tile"
 )
 
@@ -104,6 +105,7 @@ func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
 		return RectPlan{}, fmt.Errorf("partition: need at least one processor")
 	}
 	sizes := space.Extents()
+	reg := telemetry.Active()
 
 	var best RectPlan
 	found := false
@@ -118,10 +120,18 @@ func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
 			ext[k] = ceilDiv(sizes[k], grid[k])
 		}
 		if !feasible {
+			reg.Counter("partition.rect.infeasible").Add(1)
 			continue
 		}
 		fp, ex := a.RectTotalFootprint(ext)
 		cand := RectPlan{Grid: grid, Ext: ext, PredictedFootprint: fp, Exactness: ex}
+		reg.Counter("partition.rect.candidates").Add(1)
+		reg.Emit("partition.rect.candidate", fmt.Sprintf("grid=%v", grid), map[string]any{
+			"grid":      fmt.Sprint(grid),
+			"ext":       fmt.Sprint(ext),
+			"footprint": fp,
+			"exactness": ex.String(),
+		})
 		if !found || better(cand, best) {
 			best = cand
 			found = true
@@ -132,7 +142,36 @@ func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
 	}
 	tr, _ := a.RectTotalTraffic(best.Ext)
 	best.PredictedTraffic = tr
+	if reg != nil {
+		reg.Emit("partition.rect.chosen", fmt.Sprintf("grid=%v", best.Grid), chosenFields(a, best))
+	}
 	return best, nil
+}
+
+// chosenFields assembles the decision-trace payload for a winning
+// rectangular plan: the grid and extents plus the per-class footprint cost
+// terms the objective summed — |det LG| (the volume term of Theorems 2/4),
+// the spread â, and each class's predicted footprint at the chosen extents.
+func chosenFields(a *footprint.Analysis, p RectPlan) map[string]any {
+	fields := map[string]any{
+		"grid":      fmt.Sprint(p.Grid),
+		"ext":       fmt.Sprint(p.Ext),
+		"footprint": p.PredictedFootprint,
+		"traffic":   p.PredictedTraffic,
+		"exactness": p.Exactness.String(),
+	}
+	t := p.Tile()
+	for i, c := range a.Classes {
+		key := fmt.Sprintf("class%d.%s", i, c.Array)
+		if vol, ok := c.SingleFootprintVolume(t); ok {
+			fields[key+".detLG"] = vol
+		}
+		fields[key+".spread"] = fmt.Sprint(c.Spread())
+		fp, _ := c.RectFootprint(p.Ext)
+		fields[key+".footprint"] = fp
+		fields[key+".invariant"] = c.FootprintInvariant()
+	}
+	return fields
 }
 
 // better orders candidate plans: lower footprint wins; ties go to the

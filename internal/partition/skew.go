@@ -5,6 +5,7 @@ import (
 
 	"looppart/internal/footprint"
 	"looppart/internal/intmat"
+	"looppart/internal/telemetry"
 	"looppart/internal/tile"
 )
 
@@ -71,6 +72,7 @@ func OptimizeSkew(a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, er
 		return SkewPlan{}, fmt.Errorf("partition: more processors than iterations")
 	}
 
+	reg := telemetry.Active()
 	var best SkewPlan
 	bestRect := -1.0
 	found := false
@@ -83,12 +85,21 @@ func OptimizeSkew(a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, er
 			}
 			t := tile.Tile{L: lmat}
 			fp, ex := a.TileTotalFootprint(t)
+			reg.Counter("partition.skew.candidates").Add(1)
 			if t.IsRect() && (bestRect < 0 || fp < bestRect) {
 				bestRect = fp
 			}
 			if !found || fp < best.PredictedFootprint {
 				best = SkewPlan{Tile: t, PredictedFootprint: fp, Exactness: ex}
 				found = true
+				// The skew search scores |skews|×|factorizations| tiles;
+				// the decision trace records only the improvements (the
+				// chain of running minima), not every candidate.
+				reg.Emit("partition.skew.improved", t.String(), map[string]any{
+					"footprint": fp,
+					"exactness": ex.String(),
+					"detL":      t.Volume(),
+				})
 			}
 		}
 	}
@@ -96,6 +107,14 @@ func OptimizeSkew(a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, er
 		return SkewPlan{}, fmt.Errorf("partition: no feasible tile of volume %d", vol)
 	}
 	best.RectBaseline = bestRect
+	if reg != nil {
+		reg.Emit("partition.skew.chosen", best.Tile.String(), map[string]any{
+			"footprint":     best.PredictedFootprint,
+			"rect_baseline": best.RectBaseline,
+			"exactness":     best.Exactness.String(),
+			"candidates":    reg.Counter("partition.skew.candidates").Value(),
+		})
+	}
 	return best, nil
 }
 

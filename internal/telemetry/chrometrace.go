@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event export (the JSON array format of
+// chrome://tracing / Perfetto, "Trace Event Format"): spans become
+// complete events (ph "X", microsecond ts/dur), decision events become
+// instant events (ph "i"), final counter values become counter events
+// (ph "C"), and each processor track gets a thread_name metadata event.
+
+// traceEvent is one record of the Chrome trace-event JSON array.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// trackID maps a span/event processor to a Chrome thread id: the pipeline
+// track (proc −1) is tid 0, processor p is tid p+1.
+func trackID(proc int) int {
+	if proc < 0 {
+		return 0
+	}
+	return proc + 1
+}
+
+// WriteChromeTrace writes the registry's spans, events, and counters as a
+// Chrome trace-event JSON array. A nil registry writes an empty array.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	var evs []traceEvent
+	if r != nil {
+		procs := map[int]bool{-1: true}
+		for _, sp := range r.Spans() {
+			procs[sp.Proc] = true
+			dur := float64(sp.Dur.Nanoseconds()) / 1e3
+			evs = append(evs, traceEvent{
+				Name: sp.Name, Phase: "X",
+				TS: float64(sp.Start.Nanoseconds()) / 1e3, Dur: &dur,
+				PID: 1, TID: trackID(sp.Proc), Args: sp.Args,
+			})
+		}
+		for _, ev := range r.Events() {
+			evs = append(evs, traceEvent{
+				Name: ev.Kind + ":" + ev.Name, Phase: "i",
+				TS:  float64(ev.Time.Nanoseconds()) / 1e3,
+				PID: 1, TID: 0, Scope: "t", Args: ev.Fields,
+			})
+		}
+		snap := r.Snapshot()
+		ts := float64(r.since().Nanoseconds()) / 1e3
+		for _, name := range sortedKeys(snap.Counters) {
+			evs = append(evs, traceEvent{
+				Name: name, Phase: "C", TS: ts, PID: 1, TID: 0,
+				Args: map[string]any{"value": snap.Counters[name]},
+			})
+		}
+		// Name the tracks so the viewer shows "pipeline" and "proc N".
+		tids := make([]int, 0, len(procs))
+		for p := range procs {
+			tids = append(tids, p)
+		}
+		sort.Ints(tids)
+		for _, p := range tids {
+			name := "pipeline"
+			if p >= 0 {
+				name = procName(p)
+			}
+			evs = append(evs, traceEvent{
+				Name: "thread_name", Phase: "M", PID: 1, TID: trackID(p),
+				Args: map[string]any{"name": name},
+			})
+		}
+	}
+	if evs == nil {
+		evs = []traceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}
+
+func procName(p int) string { return "proc " + strconv.Itoa(p) }

@@ -1,0 +1,23 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+)
+
+// StartPprof serves net/http/pprof on addr (e.g. ":6060") in a background
+// goroutine and returns the bound address. It exists so the CLIs can offer
+// `-pprof` with one call; the listener lives until process exit.
+func StartPprof(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: pprof listen %s: %w", addr, err)
+	}
+	go func() {
+		// DefaultServeMux carries the pprof handlers via the blank import.
+		_ = http.Serve(ln, nil)
+	}()
+	return ln.Addr().String(), nil
+}

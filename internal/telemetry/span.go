@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"time"
+)
+
+// Span is one timed phase of the pipeline: a parse, a partition search, a
+// simulation, or one processor's share of one doall epoch. Proc is the
+// logical track the span renders on in the Chrome trace (-1 = the
+// pipeline's own track, ≥0 = that processor's track).
+type Span struct {
+	Name  string         `json:"name"`
+	Proc  int            `json:"proc"`
+	Start time.Duration  `json:"start_ns"`
+	Dur   time.Duration  `json:"dur_ns"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ActiveSpan is an in-progress span; End records it into the registry.
+type ActiveSpan struct {
+	reg   *Registry
+	name  string
+	proc  int
+	start time.Duration
+	args  map[string]any
+}
+
+// StartSpan opens a span on the pipeline track (proc −1). Returns nil on a
+// nil registry; (*ActiveSpan)(nil).End is a no-op.
+func (r *Registry) StartSpan(name string) *ActiveSpan { return r.StartSpanProc(name, -1) }
+
+// StartSpanProc opens a span on a processor track.
+func (r *Registry) StartSpanProc(name string, proc int) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	return &ActiveSpan{reg: r, name: name, proc: proc, start: r.since()}
+}
+
+// SetArg attaches a key/value to the span (values must be JSON-encodable).
+func (s *ActiveSpan) SetArg(key string, value any) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[key] = value
+}
+
+// End closes the span and records it.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.reg.RecordSpan(Span{
+		Name:  s.name,
+		Proc:  s.proc,
+		Start: s.start,
+		Dur:   s.reg.since() - s.start,
+		Args:  s.args,
+	})
+}
+
+// RecordSpan appends a fully-formed span (used by the executor, which
+// measures goroutine-local durations itself); no-op on nil.
+func (r *Registry) RecordSpan(sp Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, sp)
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in recording order.
+func (r *Registry) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Event is one structured decision-trace record: a candidate the
+// partitioner scored, the shape it chose, a strategy fallback, a per-class
+// analysis fact. Fields hold the numbers (cost terms, grids, spreads) the
+// decision was made from.
+type Event struct {
+	Time   time.Duration  `json:"t_ns"`
+	Kind   string         `json:"kind"`
+	Name   string         `json:"name"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Emit records a decision event; no-op on nil. fields may be nil.
+func (r *Registry) Emit(kind, name string, fields map[string]any) {
+	if r == nil {
+		return
+	}
+	ev := Event{Time: r.since(), Kind: kind, Name: name, Fields: fields}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// EventsOfKind filters the recorded events by kind.
+func (r *Registry) EventsOfKind(kind string) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// FieldKeys returns an event's field names in lexicographic order, so
+// renderers print deterministically.
+func (e Event) FieldKeys() []string {
+	return sortedKeys(e.Fields)
+}

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(time.Millisecond)
+	sp := r.StartSpan("phase")
+	sp.SetArg("k", 1)
+	sp.End()
+	r.Emit("kind", "name", map[string]any{"x": 1})
+	r.RecordSpan(Span{Name: "s"})
+	if got := r.Spans(); got != nil {
+		t.Errorf("nil registry spans = %v, want nil", got)
+	}
+	if got := r.Events(); got != nil {
+		t.Errorf("nil registry events = %v, want nil", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil WriteChromeTrace: %v", err)
+	}
+	var arr []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &arr); err != nil {
+		t.Fatalf("nil trace not a JSON array: %v", err)
+	}
+	if got := r.FormatDecisionTrace(); got != "" {
+		t.Errorf("nil FormatDecisionTrace = %q", got)
+	}
+}
+
+func TestActiveSwap(t *testing.T) {
+	if Active() != nil {
+		t.Fatalf("telemetry unexpectedly enabled at test start")
+	}
+	reg := New()
+	prev := SetActive(reg)
+	if prev != nil {
+		t.Errorf("previous active registry = %v, want nil", prev)
+	}
+	if Active() != reg || !Enabled() {
+		t.Errorf("Active() did not return the installed registry")
+	}
+	SetActive(nil)
+	if Enabled() {
+		t.Errorf("telemetry still enabled after SetActive(nil)")
+	}
+}
+
+func TestCountersGaugesHistogramsConcurrent(t *testing.T) {
+	reg := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("hits").Add(1)
+				reg.Gauge("last").Set(float64(i))
+				reg.Histogram("lat").Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("hits").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := reg.Histogram("lat").Summary()
+	if h.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+	if h.MinNs != 0 || h.MaxNs != perWorker-1 {
+		t.Errorf("histogram min/max = %d/%d, want 0/%d", h.MinNs, h.MaxNs, perWorker-1)
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	reg := New()
+	reg.Counter("sim.cold").Add(10)
+	reg.Gauge("imbalance").Set(1.5)
+	reg.Histogram("wait").Observe(10 * time.Nanosecond)
+	before := reg.Snapshot()
+	reg.Counter("sim.cold").Add(7)
+	reg.Counter("sim.new").Add(3)
+	reg.Gauge("imbalance").Set(2.5)
+	reg.Histogram("wait").Observe(20 * time.Nanosecond)
+	d := reg.Snapshot().Delta(before)
+	if d.Counters["sim.cold"] != 7 || d.Counters["sim.new"] != 3 {
+		t.Errorf("counter deltas = %v", d.Counters)
+	}
+	if _, ok := d.Counters["unchanged"]; ok {
+		t.Errorf("zero-delta counter retained")
+	}
+	if d.Gauges["imbalance"] != 2.5 {
+		t.Errorf("gauge delta = %v, want last value 2.5", d.Gauges["imbalance"])
+	}
+	if h := d.Histograms["wait"]; h.Count != 1 || h.SumNs != 20 {
+		t.Errorf("histogram delta = %+v", h)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	reg := New()
+	sp := reg.StartSpanProc("tile", 3)
+	sp.SetArg("iters", 42)
+	sp.End()
+	reg.Emit("partition.rect", "candidate", map[string]any{"footprint": 104.0})
+	reg.Counter("sim.misses").Add(5)
+	var buf bytes.Buffer
+	if err := reg.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var sawX, sawI, sawC, sawM bool
+	for _, ev := range evs {
+		ph, _ := ev["ph"].(string)
+		if _, ok := ev["ts"].(float64); !ok && ph != "M" {
+			t.Errorf("event %v missing numeric ts", ev)
+		}
+		switch ph {
+		case "X":
+			sawX = true
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Errorf("complete event missing dur: %v", ev)
+			}
+			if ev["name"] != "tile" || ev["tid"] != float64(4) {
+				t.Errorf("span mapped wrong: %v", ev)
+			}
+		case "i":
+			sawI = true
+			if ev["name"] != "partition.rect:candidate" {
+				t.Errorf("instant event name = %v", ev["name"])
+			}
+		case "C":
+			sawC = true
+		case "M":
+			sawM = true
+		}
+	}
+	if !sawX || !sawI || !sawC || !sawM {
+		t.Errorf("trace missing event phases: X=%v i=%v C=%v M=%v", sawX, sawI, sawC, sawM)
+	}
+}
+
+func TestMetricsExports(t *testing.T) {
+	reg := New()
+	reg.Counter("sim.rect.cold_misses").Add(104)
+	reg.Gauge("exec.load_imbalance").Set(1.25)
+	reg.Histogram("exec.barrier_wait_ns").Observe(time.Microsecond)
+
+	var jbuf bytes.Buffer
+	if err := reg.WriteMetricsJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(jbuf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON does not round-trip: %v", err)
+	}
+	if snap.Counters["sim.rect.cold_misses"] != 104 {
+		t.Errorf("counter in JSON dump = %d, want 104", snap.Counters["sim.rect.cold_misses"])
+	}
+	if snap.Gauges["exec.load_imbalance"] != 1.25 {
+		t.Errorf("gauge in JSON dump = %v", snap.Gauges["exec.load_imbalance"])
+	}
+
+	var tbuf bytes.Buffer
+	if err := reg.WriteMetricsText(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	text := tbuf.String()
+	for _, want := range []string{
+		"sim_rect_cold_misses 104",
+		"exec_load_imbalance 1.25",
+		"exec_barrier_wait_ns_count 1",
+		"# TYPE sim_rect_cold_misses counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sim.rect.cold_misses": "sim_rect_cold_misses",
+		"exec.proc[3].iters":   "exec_proc_3__iters",
+		"9lives":               "_9lives",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatDecisionTrace(t *testing.T) {
+	reg := New()
+	reg.Emit("partition.rect.candidate", "grid=[2 4]", map[string]any{"footprint": 140.0, "ext": "[12 6]"})
+	reg.Emit("partition.rect.chosen", "grid=[8 1]", nil)
+	out := reg.FormatDecisionTrace()
+	if !strings.Contains(out, "partition.rect.candidate") || !strings.Contains(out, "footprint=140") {
+		t.Errorf("decision trace missing candidate line:\n%s", out)
+	}
+	if !strings.Contains(out, "partition.rect.chosen") {
+		t.Errorf("decision trace missing chosen line:\n%s", out)
+	}
+	// Fields print in sorted key order.
+	if strings.Index(out, "ext=") > strings.Index(out, "footprint=") {
+		t.Errorf("fields not sorted:\n%s", out)
+	}
+}
+
+func TestStartPprof(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof endpoint status = %d", resp.StatusCode)
+	}
+}

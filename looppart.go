@@ -34,6 +34,7 @@ import (
 	"looppart/internal/loopir"
 	"looppart/internal/machine"
 	"looppart/internal/partition"
+	"looppart/internal/telemetry"
 	"looppart/internal/tile"
 )
 
@@ -47,13 +48,35 @@ type Program struct {
 // it follows the paper's Doall notation) and runs the reference analysis.
 // Named loop-bound parameters (e.g. N) are resolved against params.
 func Parse(src string, params map[string]int64) (*Program, error) {
+	reg := telemetry.Active()
+	sp := reg.StartSpan("parse")
 	n, err := loopir.Parse(src, params)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = reg.StartSpan("analyze")
 	a, err := footprint.Analyze(n)
+	sp.End()
 	if err != nil {
 		return nil, err
+	}
+	// Decision trace: one event per uniformly intersecting class, carrying
+	// the quantities the optimizers score from (G, spread, coefficients).
+	for i, c := range a.Classes {
+		fields := map[string]any{
+			"array":     c.Array,
+			"refs":      c.NumRefs(),
+			"G":         c.G.String(),
+			"spread":    fmt.Sprint(c.Spread()),
+			"cum":       fmt.Sprint(c.CumulativeSpread()),
+			"invariant": c.FootprintInvariant(),
+			"has_write": c.HasWrite(),
+		}
+		if u, _, ok := c.SpreadCoeffs(); ok {
+			fields["coeffs"] = fmt.Sprint(u)
+		}
+		reg.Emit("analysis.class", fmt.Sprintf("class%d.%s", i, c.Array), fields)
 	}
 	return &Program{Nest: n, Analysis: a}, nil
 }
@@ -135,11 +158,23 @@ type Plan struct {
 
 // Partition derives a plan for P processors with the given strategy.
 func (pr *Program) Partition(procs int, strategy Strategy) (*Plan, error) {
+	reg := telemetry.Active()
+	if strategy != Auto {
+		sp := reg.StartSpan("partition." + strategy.String())
+		sp.SetArg("procs", procs)
+		defer sp.End()
+	}
 	switch strategy {
 	case Auto:
 		if plan, err := pr.Partition(procs, CommFree); err == nil {
+			reg.Emit("strategy.auto", "comm-free", map[string]any{
+				"reason": "a communication-free hyperplane partition exists",
+			})
 			return plan, nil
 		}
+		reg.Emit("strategy.auto", "rect", map[string]any{
+			"reason": "no communication-free partition; falling back to footprint-optimal rectangles",
+		})
 		return pr.Partition(procs, Rect)
 	case Rect:
 		rp, err := partition.OptimizeRect(pr.Analysis, procs)
@@ -267,7 +302,9 @@ func (p *Plan) SimulateBlocked(subExt []int64, cacheLines int) (cachesim.Metrics
 			return cachesim.Metrics{}, err
 		}
 	}
-	return m.Finish(), nil
+	metrics := m.Finish()
+	metrics.Publish(telemetry.Active(), "simblocked."+p.Strategy.String()+".")
+	return metrics, nil
 }
 
 func lexLess(a, b []int64) bool {
@@ -298,8 +335,12 @@ type SimOptions struct {
 }
 
 // Simulate replays the nest on the cache-coherent simulator under this
-// plan and returns the metrics.
+// plan and returns the metrics. When telemetry is active, the metrics
+// publish as sim.<strategy>.* counters alongside a simulation span.
 func (p *Plan) Simulate(opts SimOptions) (cachesim.Metrics, error) {
+	reg := telemetry.Active()
+	sp := reg.StartSpan("simulate." + p.Strategy.String())
+	defer sp.End()
 	cfg := cachesim.DefaultConfig(p.Procs)
 	cfg.CacheLines = opts.CacheLines
 	m, err := cachesim.New(cfg)
@@ -309,7 +350,9 @@ func (p *Plan) Simulate(opts SimOptions) (cachesim.Metrics, error) {
 	if err := cachesim.RunNest(m, p.Program.Nest, p.assign); err != nil {
 		return cachesim.Metrics{}, err
 	}
-	return m.Finish(), nil
+	metrics := m.Finish()
+	metrics.Publish(reg, "sim."+p.Strategy.String()+".")
+	return metrics, nil
 }
 
 // MeshOptions parameterizes distributed-memory simulation (§4's Alewife
@@ -367,7 +410,13 @@ func (p *Plan) SimulateMesh(opts MeshOptions) (cachesim.Metrics, error) {
 	if err := cachesim.RunNest(m, p.Program.Nest, p.assign); err != nil {
 		return cachesim.Metrics{}, err
 	}
-	return m.Finish(), nil
+	metrics := m.Finish()
+	placement := "hashed"
+	if opts.Aligned {
+		placement = "aligned"
+	}
+	metrics.Publish(telemetry.Active(), "mesh."+p.Strategy.String()+"."+placement+".")
+	return metrics, nil
 }
 
 // Execute runs the nest for real on goroutines (one per processor) over a
@@ -377,7 +426,7 @@ func (p *Plan) Execute() (exec.Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := exec.RunParallel(p.Program.Nest, st, p.Procs, p.assign); err != nil {
+	if err := p.ExecuteOn(st); err != nil {
 		return nil, err
 	}
 	return st, nil
@@ -385,6 +434,9 @@ func (p *Plan) Execute() (exec.Store, error) {
 
 // ExecuteOn runs the nest under the plan over a caller-provided store.
 func (p *Plan) ExecuteOn(st exec.Store) error {
+	reg := telemetry.Active()
+	sp := reg.StartSpan("execute." + p.Strategy.String())
+	defer sp.End()
 	return exec.RunParallel(p.Program.Nest, st, p.Procs, p.assign)
 }
 

@@ -1,10 +1,12 @@
 package looppart
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"looppart/internal/paperex"
+	"looppart/internal/telemetry"
 )
 
 func TestParseAndReport(t *testing.T) {
@@ -314,5 +316,58 @@ func TestSimulateBlockedErrors(t *testing.T) {
 	}
 	if _, err := plan.SimulateBlocked([]int64{10}, 0); err == nil {
 		t.Fatal("rank mismatch accepted")
+	}
+}
+
+func TestSimulatePublishesMetricsTelemetry(t *testing.T) {
+	// Acceptance check for the telemetry subsystem: the counters a
+	// simulation publishes must equal the cachesim.Metrics it returns.
+	reg := telemetry.New()
+	prev := telemetry.SetActive(reg)
+	defer telemetry.SetActive(prev)
+
+	prog := MustParse(paperex.Example8, map[string]int64{"N": 24})
+	plan, err := prog.Partition(16, Rect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := plan.Simulate(SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	prefix := "sim." + plan.Strategy.String() + "."
+	for name, want := range map[string]int64{
+		"accesses":         m.Accesses,
+		"misses":           m.Misses(),
+		"cold_misses":      m.ColdMisses,
+		"coherence_misses": m.CoherenceMisses,
+		"capacity_misses":  m.CapacityMisses,
+		"invalidations":    m.Invalidations,
+		"network_traffic":  m.NetworkTraffic,
+		"shared_data":      m.SharedData,
+	} {
+		if got := snap.Counters[prefix+name]; got != want {
+			t.Errorf("counter %s%s = %d, want %d (the returned Metrics)", prefix, name, got, want)
+		}
+	}
+	if got := snap.Gauges[prefix+"misses_per_proc"]; got != m.MissesPerProc() {
+		t.Errorf("misses_per_proc gauge = %v, want %v", got, m.MissesPerProc())
+	}
+	for p, want := range m.PerProc {
+		name := fmt.Sprintf("%sproc.%d.misses", prefix, p)
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, want %d", name, got, want)
+		}
+	}
+	// A simulate span must have been recorded for the strategy.
+	var found bool
+	for _, sp := range reg.Spans() {
+		if sp.Name == "simulate."+plan.Strategy.String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no simulate.%s span recorded", plan.Strategy)
 	}
 }

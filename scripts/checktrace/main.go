@@ -1,0 +1,73 @@
+// Command checktrace validates the telemetry export files produced by the
+// CLIs: the Chrome trace must be a non-empty JSON array of trace events
+// carrying ph/ts fields, and the metrics dump must be a JSON object with a
+// counters section. Used by scripts/verify.sh.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: checktrace TRACE.json METRICS.json")
+		os.Exit(2)
+	}
+	if err := checkTrace(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "checktrace:", err)
+		os.Exit(1)
+	}
+	if err := checkMetrics(os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "checktrace:", err)
+		os.Exit(1)
+	}
+	fmt.Println("trace and metrics files are well-formed")
+}
+
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("%s: not a JSON array of events: %v", path, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: trace is empty", path)
+	}
+	phases := map[string]bool{}
+	for i, ev := range events {
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("%s: event %d has no ph field", path, i)
+		}
+		phases[ph] = true
+		if _, ok := ev["ts"]; !ok {
+			return fmt.Errorf("%s: event %d has no ts field", path, i)
+		}
+	}
+	if !phases["X"] {
+		return fmt.Errorf("%s: no complete (ph=X) span events", path)
+	}
+	return nil
+}
+
+func checkMetrics(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: not a JSON metrics dump: %v", path, err)
+	}
+	if len(snap.Counters) == 0 {
+		return fmt.Errorf("%s: no counters recorded", path)
+	}
+	return nil
+}

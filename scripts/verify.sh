@@ -1,0 +1,29 @@
+#!/bin/sh
+# Full verification: vet + build + race-enabled tests + an end-to-end
+# smoke run that checks the telemetry exports are well-formed.
+# Run from the repository root (or via `make verify`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== go vet =='
+go vet ./...
+
+echo '== go build =='
+go build ./...
+
+echo '== go test -race =='
+go test -race ./...
+
+echo '== smoke: looppart -trace/-metrics on example8 =='
+trace=$(mktemp /tmp/looppart-trace.XXXXXX.json)
+metrics=$(mktemp /tmp/looppart-metrics.XXXXXX.json)
+trap 'rm -f "$trace" "$metrics"' EXIT
+
+go run ./cmd/looppart -procs 16 -trace "$trace" -metrics "$metrics" example8 >/dev/null
+
+# The trace must be a JSON array of Chrome trace events (ph/ts fields);
+# the metrics dump must be a JSON object with a counters section.
+go run ./scripts/checktrace "$trace" "$metrics"
+
+echo 'verify: OK'
