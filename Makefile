@@ -1,4 +1,4 @@
-.PHONY: build test verify bench
+.PHONY: build test verify bench benchjson
 
 build:
 	go build ./...
@@ -6,10 +6,16 @@ build:
 test:
 	go test ./...
 
-# Full check: vet, build, race-enabled tests, and a smoke run validating
-# the -trace / -metrics telemetry exports end to end.
+# Full check: vet, build, race-enabled tests (including the parallel
+# search engine at forced pool sizes), a bench smoke that re-validates
+# BENCH_PARTITION.json, and a smoke run validating the -trace / -metrics
+# telemetry exports end to end.
 verify:
 	sh scripts/verify.sh
 
 bench:
 	go test -bench=. -benchmem
+
+# Regenerate the checked-in BENCH_PARTITION.json performance record.
+benchjson:
+	sh scripts/bench.sh

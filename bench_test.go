@@ -10,11 +10,14 @@ package looppart_test
 // and compare against EXPERIMENTS.md. Failing claims abort the benchmark.
 
 import (
+	"fmt"
 	"testing"
 
 	"looppart"
 	"looppart/internal/experiments"
+	"looppart/internal/footprint"
 	"looppart/internal/paperex"
+	"looppart/internal/partition"
 )
 
 func benchExperiment(b *testing.B, run func() experiments.Result) {
@@ -101,6 +104,63 @@ func BenchmarkExecuteMatmul(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := plan.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Search-layer and simulator-layer benchmarks: the partition searches and
+// the cache simulator are the hot paths that must scale with processor
+// count and problem size. scripts/bench.sh runs these and records the
+// trajectory in BENCH_PARTITION.json.
+
+func benchAnalysis(b *testing.B, src string, params map[string]int64) *footprint.Analysis {
+	b.Helper()
+	prog, err := looppart.Parse(src, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog.Analysis
+}
+
+func BenchmarkRectSearch(b *testing.B) {
+	a := benchAnalysis(b, paperex.Example8, map[string]int64{"N": 96})
+	for _, procs := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("P=%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.OptimizeRect(a, procs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSkewSearch(b *testing.B) {
+	a := benchAnalysis(b, paperex.Example8, map[string]int64{"N": 24})
+	for _, procs := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("P=%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.OptimizeSkew(a, procs, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCachesimReplay(b *testing.B) {
+	prog := looppart.MustParse(paperex.Example2, nil)
+	plan, err := prog.Partition(100, looppart.Columns)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Simulate(looppart.SimOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,106 @@
+package cachesim
+
+import "math/bits"
+
+// procSet is a set of processor IDs. Directory entries hold one per datum
+// (sharer set) plus one per datum for the shared-data census, so the
+// representation matters: processors 0–63 live inline in a single word —
+// no allocation, O(1) membership, popcount cardinality — and larger
+// machines spill the remaining processors into extension words allocated
+// only when a processor ≥ 64 actually joins the set.
+type procSet struct {
+	word  uint64
+	spill []uint64 // processor p ≥ 64 lives at spill[p/64-1] bit p%64
+}
+
+func (s *procSet) add(p int) {
+	if p < 64 {
+		s.word |= 1 << uint(p)
+		return
+	}
+	w := p/64 - 1
+	if w >= len(s.spill) {
+		grown := make([]uint64, w+1)
+		copy(grown, s.spill)
+		s.spill = grown
+	}
+	s.spill[w] |= 1 << uint(p%64)
+}
+
+func (s *procSet) remove(p int) {
+	if p < 64 {
+		s.word &^= 1 << uint(p)
+		return
+	}
+	if w := p/64 - 1; w < len(s.spill) {
+		s.spill[w] &^= 1 << uint(p%64)
+	}
+}
+
+func (s *procSet) has(p int) bool {
+	if p < 64 {
+		return s.word&(1<<uint(p)) != 0
+	}
+	w := p/64 - 1
+	return w < len(s.spill) && s.spill[w]&(1<<uint(p%64)) != 0
+}
+
+func (s *procSet) count() int {
+	n := bits.OnesCount64(s.word)
+	for _, w := range s.spill {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach visits the members in ascending order; return false to stop.
+func (s *procSet) forEach(f func(p int) bool) {
+	for w := s.word; w != 0; w &= w - 1 {
+		if !f(bits.TrailingZeros64(w)) {
+			return
+		}
+	}
+	for wi, w := range s.spill {
+		base := (wi + 1) * 64
+		for ; w != 0; w &= w - 1 {
+			if !f(base + bits.TrailingZeros64(w)) {
+				return
+			}
+		}
+	}
+}
+
+// bitvec is a growable bit vector indexed by dense datum IDs — the
+// presence, invalidated, and evicted sets of an infinite cache, where the
+// previous map[string]bool per set cost a hash and a string header per
+// datum.
+type bitvec struct{ w []uint64 }
+
+func (b *bitvec) get(i int32) bool {
+	wi := int(i) >> 6
+	return wi < len(b.w) && b.w[wi]&(1<<uint(i&63)) != 0
+}
+
+func (b *bitvec) set(i int32) {
+	wi := int(i) >> 6
+	if wi >= len(b.w) {
+		grown := make([]uint64, wi+1+wi/2)
+		copy(grown, b.w)
+		b.w = grown
+	}
+	b.w[wi] |= 1 << uint(i&63)
+}
+
+func (b *bitvec) clear(i int32) {
+	if wi := int(i) >> 6; wi < len(b.w) {
+		b.w[wi] &^= 1 << uint(i&63)
+	}
+}
+
+func (b *bitvec) countOnes() int {
+	n := 0
+	for _, w := range b.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package cachesim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestProcSetInlineAndSpill(t *testing.T) {
+	var s procSet
+	for _, p := range []int{0, 5, 63, 64, 100, 191} {
+		if s.has(p) {
+			t.Fatalf("empty set has(%d)", p)
+		}
+		s.add(p)
+		if !s.has(p) {
+			t.Fatalf("after add, !has(%d)", p)
+		}
+	}
+	if got := s.count(); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+	var seen []int
+	s.forEach(func(p int) bool { seen = append(seen, p); return true })
+	if want := []int{0, 5, 63, 64, 100, 191}; !reflect.DeepEqual(seen, want) {
+		t.Fatalf("forEach order = %v, want %v", seen, want)
+	}
+	s.remove(100)
+	s.remove(5)
+	s.remove(200) // never added: no-op
+	if s.has(100) || s.has(5) {
+		t.Fatal("removed members still present")
+	}
+	if got := s.count(); got != 4 {
+		t.Fatalf("count after removes = %d, want 4", got)
+	}
+}
+
+func TestProcSetForEachEarlyStop(t *testing.T) {
+	var s procSet
+	s.add(1)
+	s.add(70)
+	var seen []int
+	s.forEach(func(p int) bool { seen = append(seen, p); return false })
+	if len(seen) != 1 {
+		t.Fatalf("early stop visited %v", seen)
+	}
+}
+
+func TestBitvec(t *testing.T) {
+	var b bitvec
+	if b.get(100) {
+		t.Fatal("empty bitvec get(100)")
+	}
+	b.set(0)
+	b.set(63)
+	b.set(64)
+	b.set(1000)
+	for _, i := range []int32{0, 63, 64, 1000} {
+		if !b.get(i) {
+			t.Fatalf("!get(%d) after set", i)
+		}
+	}
+	if got := b.countOnes(); got != 4 {
+		t.Fatalf("countOnes = %d, want 4", got)
+	}
+	b.clear(64)
+	b.clear(5000) // out of range: no-op
+	if b.get(64) {
+		t.Fatal("get(64) after clear")
+	}
+}
+
+// TestCoherenceBeyond64Procs drives the directory past the inline sharer
+// word: 100 readers of one datum, then one writer invalidating them all.
+func TestCoherenceBeyond64Procs(t *testing.T) {
+	const procs = 100
+	m, err := New(DefaultConfig(procs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < procs; p++ {
+		m.AccessDatum(p, "A", []int64{7}, false, false)
+	}
+	m.AccessDatum(42, "A", []int64{7}, true, false)
+	got := m.Finish()
+	if got.ColdMisses != procs {
+		t.Errorf("ColdMisses = %d, want %d", got.ColdMisses, procs)
+	}
+	if got.Invalidations != procs-1 {
+		t.Errorf("Invalidations = %d, want %d", got.Invalidations, procs-1)
+	}
+	if got.SharedData != 1 {
+		t.Errorf("SharedData = %d, want 1", got.SharedData)
+	}
+	// A reader above 64 re-misses on coherence after the invalidation.
+	m2, _ := New(DefaultConfig(procs))
+	for p := 0; p < procs; p++ {
+		m2.AccessDatum(p, "A", []int64{7}, false, false)
+	}
+	m2.AccessDatum(42, "A", []int64{7}, true, false)
+	m2.AccessDatum(90, "A", []int64{7}, false, false)
+	if got := m2.Finish(); got.CoherenceMisses != 1 {
+		t.Errorf("CoherenceMisses = %d, want 1", got.CoherenceMisses)
+	}
+}
+
+// TestAccessLineMatchesStringKeys checks the interned line path produces
+// the same metrics as driving the simulator with the old "L<n>" keys.
+func TestAccessLineMatchesStringKeys(t *testing.T) {
+	type ref struct {
+		proc  int
+		line  int64
+		write bool
+	}
+	refs := []ref{
+		{0, 3, false}, {1, 3, false}, {0, 3, true}, {1, 3, false},
+		{2, 9, true}, {0, 9, false}, {2, 9, true}, {1, 12, false},
+	}
+	byLine, _ := New(DefaultConfig(3))
+	byKey, _ := New(DefaultConfig(3))
+	for _, r := range refs {
+		byLine.AccessLine(r.proc, r.line, r.write, false)
+		byKey.Access(r.proc, fmt.Sprintf("L%d", r.line), r.write, false)
+	}
+	a, b := byLine.Finish(), byKey.Finish()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("AccessLine metrics %+v != string-key metrics %+v", a, b)
+	}
+}
+
+// TestExpectedDataHint checks presizing changes no observable behavior.
+func TestExpectedDataHint(t *testing.T) {
+	run := func(hint int) Metrics {
+		cfg := DefaultConfig(4)
+		cfg.CacheLines = 2
+		cfg.ExpectedData = hint
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 32; i++ {
+			m.AccessDatum(i%4, "A", []int64{int64(i % 6)}, i%3 == 0, false)
+		}
+		return m.Finish()
+	}
+	if a, b := run(0), run(1000); !reflect.DeepEqual(a, b) {
+		t.Errorf("metrics with hint %+v != without %+v", b, a)
+	}
+}
+
+// TestDeepIndexFallback exercises the >4-dimensional intern fallback.
+func TestDeepIndexFallback(t *testing.T) {
+	m, _ := New(DefaultConfig(2))
+	idx := []int64{1, 2, 3, 4, 5, 6}
+	m.AccessDatum(0, "T", idx, false, false)
+	m.AccessDatum(1, "T", idx, false, false)
+	m.AccessDatum(0, "T", idx, false, false)
+	m.Access(0, DatumKey("T", idx), false, false) // same datum via string key
+	got := m.Finish()
+	if got.ColdMisses != 2 {
+		t.Errorf("ColdMisses = %d, want 2", got.ColdMisses)
+	}
+	if got.SharedData != 1 {
+		t.Errorf("SharedData = %d, want 1", got.SharedData)
+	}
+	if got.Accesses != 4 {
+		t.Errorf("Accesses = %d, want 4", got.Accesses)
+	}
+}

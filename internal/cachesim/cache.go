@@ -2,72 +2,102 @@ package cachesim
 
 import "container/list"
 
-// cache is one processor's cache: a set of datum keys with optional LRU
+// cache is one processor's cache: a set of datum IDs with optional LRU
 // capacity. It remembers why absent lines left (invalidation vs eviction)
 // so misses can be classified.
+//
+// The common configuration — the paper's infinite cache — needs no
+// recency order, so presence is three bit vectors and an access touches no
+// heap at all. Finite caches keep the classic intrusive-list LRU, keyed by
+// datum ID instead of key string.
 type cache struct {
 	capacity int // 0 = infinite
-	lines    map[string]*list.Element
-	lru      *list.List // front = most recent; values are datum keys
 
-	invalidated map[string]bool
-	evicted     map[string]bool
+	present     bitvec // infinite-cache residency
+	invalidated bitvec
+	evicted     bitvec
+
+	lines map[int32]*list.Element // finite-cache residency
+	lru   *list.List              // front = most recent; values are datum IDs
 }
 
 func newCache(capacity int) *cache {
-	return &cache{
-		capacity:    capacity,
-		lines:       make(map[string]*list.Element),
-		lru:         list.New(),
-		invalidated: make(map[string]bool),
-		evicted:     make(map[string]bool),
+	c := &cache{capacity: capacity}
+	if capacity > 0 {
+		c.lines = make(map[int32]*list.Element, capacity+1)
+		c.lru = list.New()
 	}
+	return c
 }
 
-func (c *cache) has(datum string) bool {
-	_, ok := c.lines[datum]
+func (c *cache) has(id int32) bool {
+	if c.capacity == 0 {
+		return c.present.get(id)
+	}
+	_, ok := c.lines[id]
 	return ok
 }
 
-// touch marks the line most-recently used.
-func (c *cache) touch(datum string) {
-	if el, ok := c.lines[datum]; ok {
+// touch marks the line most-recently used (meaningful only under LRU).
+func (c *cache) touch(id int32) {
+	if c.capacity == 0 {
+		return
+	}
+	if el, ok := c.lines[id]; ok {
 		c.lru.MoveToFront(el)
 	}
 }
 
 // insert adds the line, evicting the LRU line if at capacity.
-// It returns the evicted key, if any.
-func (c *cache) insert(datum string) (string, bool) {
-	if el, ok := c.lines[datum]; ok {
-		c.lru.MoveToFront(el)
-		return "", false
+// It returns the evicted ID, if any.
+func (c *cache) insert(id int32) (int32, bool) {
+	if c.capacity == 0 {
+		c.present.set(id)
+		c.invalidated.clear(id)
+		c.evicted.clear(id)
+		return 0, false
 	}
-	delete(c.invalidated, datum)
-	delete(c.evicted, datum)
-	c.lines[datum] = c.lru.PushFront(datum)
-	if c.capacity > 0 && c.lru.Len() > c.capacity {
+	if el, ok := c.lines[id]; ok {
+		c.lru.MoveToFront(el)
+		return 0, false
+	}
+	c.invalidated.clear(id)
+	c.evicted.clear(id)
+	c.lines[id] = c.lru.PushFront(id)
+	if c.lru.Len() > c.capacity {
 		back := c.lru.Back()
-		victim := back.Value.(string)
+		victim := back.Value.(int32)
 		c.lru.Remove(back)
 		delete(c.lines, victim)
-		c.evicted[victim] = true
+		c.evicted.set(victim)
 		return victim, true
 	}
-	return "", false
+	return 0, false
 }
 
 // invalidate removes the line due to a remote write.
-func (c *cache) invalidate(datum string) {
-	if el, ok := c.lines[datum]; ok {
+func (c *cache) invalidate(id int32) {
+	if c.capacity == 0 {
+		if c.present.get(id) {
+			c.present.clear(id)
+			c.invalidated.set(id)
+		}
+		return
+	}
+	if el, ok := c.lines[id]; ok {
 		c.lru.Remove(el)
-		delete(c.lines, datum)
-		c.invalidated[datum] = true
+		delete(c.lines, id)
+		c.invalidated.set(id)
 	}
 }
 
-func (c *cache) wasInvalidated(datum string) bool { return c.invalidated[datum] }
-func (c *cache) wasEvicted(datum string) bool     { return c.evicted[datum] }
+func (c *cache) wasInvalidated(id int32) bool { return c.invalidated.get(id) }
+func (c *cache) wasEvicted(id int32) bool     { return c.evicted.get(id) }
 
 // size returns the number of resident lines.
-func (c *cache) size() int { return c.lru.Len() }
+func (c *cache) size() int {
+	if c.capacity == 0 {
+		return c.present.countOnes()
+	}
+	return c.lru.Len()
+}

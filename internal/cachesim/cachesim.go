@@ -10,10 +10,18 @@
 // extension it cites from Abraham and Hudak). Caches are infinite by
 // default — the paper's operating regime, where tile footprints fit — but
 // a finite LRU capacity can be configured to study the small-cache case.
+//
+// Data are identified internally by dense int32 IDs from an intern table,
+// not by key strings: replaying a nest touches the same few thousand data
+// millions of times, and formatting "A[i,j]" plus hashing it on every
+// access dominated the simulation. Structured references intern on the
+// (array, index) value; the key string is materialized lazily, only when a
+// MissCost hook actually asks for it.
 package cachesim
 
 import (
 	"fmt"
+	"strconv"
 
 	"looppart/internal/loopir"
 )
@@ -24,6 +32,10 @@ type Config struct {
 	// CacheLines bounds each processor cache in lines; 0 means infinite
 	// (the paper's model).
 	CacheLines int
+	// ExpectedData sizes the directory, intern table, and census up front.
+	// The footprint model predicts it (cumulative footprint ≈ distinct
+	// data); 0 falls back to growth by doubling.
+	ExpectedData int
 	// CostCacheHit, CostMemory, CostAtomic are the charge-per-access
 	// weights used for the Cost metric. Main memory is "much higher"
 	// than cache (§2.2); synchronizing references are "slightly more
@@ -54,9 +66,9 @@ func DefaultConfig(procs int) Config {
 // lineState is the directory state of one datum.
 type lineState struct {
 	// sharers is the set of processors with a valid copy.
-	sharers map[int]bool
+	sharers procSet
 	// owner is the last writer, -1 if the line is clean-shared.
-	owner int
+	owner int32
 }
 
 // Metrics aggregates the simulation counters.
@@ -113,14 +125,50 @@ func (m Metrics) String() string {
 		m.Invalidations, m.NetworkTraffic, m.SharedData, m.Cost)
 }
 
+// datumRec is the intern table's record of one datum: how to rebuild its
+// key string on demand.
+type datumRec struct {
+	kind  uint8
+	array int32   // recIdx: index into arrayNames
+	index []int64 // recIdx
+	line  int64   // recLine
+	str   string  // recStr: the original key; otherwise built lazily
+}
+
+const (
+	recStr = iota
+	recIdx
+	recLine
+)
+
+// idxKey is the hashable intern key for structured references of up to
+// four dimensions (the common case; deeper nests fall back to the string
+// key).
+type idxKey struct {
+	array int32
+	dims  int8
+	i     [4]int64
+}
+
 // Machine is the simulated multiprocessor.
 type Machine struct {
 	cfg    Config
 	caches []*cache
-	dir    map[string]*lineState
-	// everTouched maps datum → set of processors that ever accessed it.
-	everTouched map[string]map[int]bool
-	metrics     Metrics
+
+	// Intern table: datum → dense ID.
+	arrays     map[string]int32
+	arrayNames []string
+	byIdx      map[idxKey]int32
+	byStr      map[string]int32
+	byLine     map[int64]int32
+	recs       []datumRec
+
+	dir []lineState // directory, indexed by datum ID
+	// touched is the shared-data census: which processors ever accessed
+	// each datum.
+	touched []procSet
+
+	metrics Metrics
 }
 
 // New creates a machine.
@@ -131,10 +179,18 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.CacheLines < 0 {
 		return nil, fmt.Errorf("cachesim: negative cache size")
 	}
+	hint := cfg.ExpectedData
+	if hint < 0 {
+		hint = 0
+	}
 	m := &Machine{
-		cfg:         cfg,
-		dir:         make(map[string]*lineState),
-		everTouched: make(map[string]map[int]bool),
+		cfg:     cfg,
+		arrays:  make(map[string]int32, 8),
+		byIdx:   make(map[idxKey]int32, hint),
+		byLine:  make(map[int64]int32, hint),
+		recs:    make([]datumRec, 0, hint),
+		dir:     make([]lineState, 0, hint),
+		touched: make([]procSet, 0, hint),
 	}
 	m.metrics.Procs = cfg.Procs
 	m.metrics.PerProc = make([]int64, cfg.Procs)
@@ -144,8 +200,89 @@ func New(cfg Config) (*Machine, error) {
 	return m, nil
 }
 
+// newID appends a fresh datum to the intern table, directory, and census.
+func (m *Machine) newID(rec datumRec) int32 {
+	id := int32(len(m.recs))
+	m.recs = append(m.recs, rec)
+	m.dir = append(m.dir, lineState{owner: -1})
+	m.touched = append(m.touched, procSet{})
+	return id
+}
+
+func (m *Machine) internString(datum string) int32 {
+	if m.byStr == nil {
+		m.byStr = make(map[string]int32)
+	}
+	if id, ok := m.byStr[datum]; ok {
+		return id
+	}
+	id := m.newID(datumRec{kind: recStr, str: datum})
+	m.byStr[datum] = id
+	return id
+}
+
+func (m *Machine) internDatum(array string, index []int64) int32 {
+	if len(index) > len(idxKey{}.i) {
+		return m.internString(DatumKey(array, index))
+	}
+	aid, ok := m.arrays[array]
+	if !ok {
+		aid = int32(len(m.arrayNames))
+		m.arrays[array] = aid
+		m.arrayNames = append(m.arrayNames, array)
+	}
+	k := idxKey{array: aid, dims: int8(len(index))}
+	copy(k.i[:], index)
+	if id, ok := m.byIdx[k]; ok {
+		return id
+	}
+	id := m.newID(datumRec{kind: recIdx, array: aid, index: append([]int64(nil), index...)})
+	m.byIdx[k] = id
+	return id
+}
+
+func (m *Machine) internLine(line int64) int32 {
+	if id, ok := m.byLine[line]; ok {
+		return id
+	}
+	id := m.newID(datumRec{kind: recLine, line: line})
+	m.byLine[line] = id
+	return id
+}
+
+// key materializes (and caches) the datum's key string — only the MissCost
+// hook needs it.
+func (m *Machine) key(id int32) string {
+	rec := &m.recs[id]
+	if rec.str == "" {
+		switch rec.kind {
+		case recIdx:
+			rec.str = DatumKey(m.arrayNames[rec.array], rec.index)
+		case recLine:
+			rec.str = "L" + strconv.FormatInt(rec.line, 10)
+		}
+	}
+	return rec.str
+}
+
 // Access replays one reference by processor proc to the named datum.
 func (m *Machine) Access(proc int, datum string, write, atomic bool) {
+	m.access(proc, m.internString(datum), write, atomic)
+}
+
+// AccessDatum is Access with structured array indices — the fast path: no
+// key string is built.
+func (m *Machine) AccessDatum(proc int, array string, index []int64, write, atomic bool) {
+	m.access(proc, m.internDatum(array, index), write, atomic)
+}
+
+// AccessLine replays a reference at cache-line granularity; line is the
+// line number from a layout.MemoryMap.
+func (m *Machine) AccessLine(proc int, line int64, write, atomic bool) {
+	m.access(proc, m.internLine(line), write, atomic)
+}
+
+func (m *Machine) access(proc int, id int32, write, atomic bool) {
 	m.metrics.Accesses++
 	// Appendix A: synchronizing reads and writes are both treated as
 	// writes by the coherence system.
@@ -153,45 +290,36 @@ func (m *Machine) Access(proc int, datum string, write, atomic bool) {
 		write = true
 	}
 
-	touched, ok := m.everTouched[datum]
-	if !ok {
-		touched = make(map[int]bool, 1)
-		m.everTouched[datum] = touched
-	}
-	touched[proc] = true
+	m.touched[id].add(proc)
 
 	c := m.caches[proc]
-	st := m.dir[datum]
-	if st == nil {
-		st = &lineState{sharers: make(map[int]bool, 1), owner: -1}
-		m.dir[datum] = st
-	}
+	st := &m.dir[id]
 
-	hit := c.has(datum)
-	if hit && write && st.owner != proc && len(st.sharers) > 1 {
+	hit := c.has(id)
+	if hit && write && st.owner != int32(proc) && st.sharers.count() > 1 {
 		// Shared copy upgraded to exclusive: others invalidate, and the
 		// upgrade costs a network round trip but not a refill.
-		m.invalidateOthers(st, proc, datum)
-		st.owner = proc
+		m.invalidateOthers(st, proc, id)
+		st.owner = int32(proc)
 		m.metrics.NetworkTraffic++
 		m.chargeHit(atomic)
-		c.touch(datum)
+		c.touch(id)
 		return
 	}
 	if hit {
 		if write {
-			st.owner = proc
+			st.owner = int32(proc)
 		}
 		m.chargeHit(atomic)
-		c.touch(datum)
+		c.touch(id)
 		return
 	}
 
 	// Miss path: classify.
 	switch {
-	case c.wasInvalidated(datum):
+	case c.wasInvalidated(id):
 		m.metrics.CoherenceMisses++
-	case c.wasEvicted(datum):
+	case c.wasEvicted(id):
 		m.metrics.CapacityMisses++
 	default:
 		m.metrics.ColdMisses++
@@ -199,19 +327,19 @@ func (m *Machine) Access(proc int, datum string, write, atomic bool) {
 	m.metrics.PerProc[proc]++
 	m.metrics.NetworkTraffic++ // line fill from memory
 	if write {
-		m.invalidateOthers(st, proc, datum)
-		st.owner = proc
-	} else if st.owner >= 0 && st.owner != proc {
+		m.invalidateOthers(st, proc, id)
+		st.owner = int32(proc)
+	} else if st.owner >= 0 && st.owner != int32(proc) {
 		// Reading a dirty line: writeback traffic, line becomes shared.
 		m.metrics.NetworkTraffic++
 		st.owner = -1
 	}
-	st.sharers[proc] = true
-	if evicted, ok := c.insert(datum); ok {
-		delete(st0(m.dir, evicted).sharers, proc)
+	st.sharers.add(proc)
+	if victim, ok := c.insert(id); ok {
+		m.dir[victim].sharers.remove(proc)
 	}
 	if m.cfg.MissCost != nil {
-		cost, hops := m.cfg.MissCost(proc, datum, atomic)
+		cost, hops := m.cfg.MissCost(proc, m.key(id), atomic)
 		m.metrics.Cost += cost
 		m.metrics.HopTraffic += hops
 		if hops == 0 {
@@ -238,23 +366,23 @@ func (m *Machine) chargeHit(atomic bool) {
 	m.metrics.Cost += m.cfg.CostCacheHit
 }
 
-func (m *Machine) invalidateOthers(st *lineState, proc int, datum string) {
-	for p := range st.sharers {
-		if p == proc {
-			continue
+func (m *Machine) invalidateOthers(st *lineState, proc int, id int32) {
+	st.sharers.forEach(func(p int) bool {
+		if p != proc {
+			m.caches[p].invalidate(id)
+			st.sharers.remove(p)
+			m.metrics.Invalidations++
+			m.metrics.NetworkTraffic++
 		}
-		m.caches[p].invalidate(datum)
-		delete(st.sharers, p)
-		m.metrics.Invalidations++
-		m.metrics.NetworkTraffic++
-	}
+		return true
+	})
 }
 
 // Finish computes the derived metrics and returns the totals.
 func (m *Machine) Finish() Metrics {
 	var shared int64
-	for _, procs := range m.everTouched {
-		if len(procs) > 1 {
+	for i := range m.touched {
+		if m.touched[i].count() > 1 {
 			shared++
 		}
 	}
@@ -262,25 +390,19 @@ func (m *Machine) Finish() Metrics {
 	return m.metrics
 }
 
-func st0(dir map[string]*lineState, key string) *lineState {
-	st := dir[key]
-	if st == nil {
-		st = &lineState{sharers: map[int]bool{}, owner: -1}
-		dir[key] = st
-	}
-	return st
-}
-
 // DatumKey builds the canonical datum key for an array element.
 func DatumKey(array string, index []int64) string {
-	key := array + "["
+	buf := make([]byte, 0, len(array)+2+8*len(index))
+	buf = append(buf, array...)
+	buf = append(buf, '[')
 	for i, v := range index {
 		if i > 0 {
-			key += ","
+			buf = append(buf, ',')
 		}
-		key += fmt.Sprintf("%d", v)
+		buf = strconv.AppendInt(buf, v, 10)
 	}
-	return key + "]"
+	buf = append(buf, ']')
+	return string(buf)
 }
 
 // RunNest replays the nest under an iteration→processor assignment. Outer
@@ -294,8 +416,8 @@ func RunNest(m *Machine, n *loopir.Nest, assign func(p []int64) int) error {
 	var runEpoch func(extra map[string]int64) error
 	runEpoch = func(extra map[string]int64) error {
 		var err error
+		p := make([]int64, len(vars))
 		n.ForEachIteration(extra, func(env map[string]int64) bool {
-			p := make([]int64, len(vars))
 			for k, v := range vars {
 				p[k] = env[v]
 			}
@@ -332,9 +454,4 @@ func RunNest(m *Machine, n *loopir.Nest, assign func(p []int64) int) error {
 		return nil
 	}
 	return seq(0, map[string]int64{})
-}
-
-// AccessDatum is Access with structured array indices.
-func (m *Machine) AccessDatum(proc int, array string, index []int64, write, atomic bool) {
-	m.Access(proc, DatumKey(array, index), write, atomic)
 }

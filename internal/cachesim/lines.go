@@ -22,8 +22,8 @@ func RunNestLines(m *Machine, n *loopir.Nest, assign func(p []int64) int, mm *la
 
 	runEpoch := func(extra map[string]int64) error {
 		var err error
+		p := make([]int64, len(vars))
 		n.ForEachIteration(extra, func(env map[string]int64) bool {
-			p := make([]int64, len(vars))
 			for k, v := range vars {
 				p[k] = env[v]
 			}
@@ -38,7 +38,7 @@ func RunNestLines(m *Machine, n *loopir.Nest, assign func(p []int64) int, mm *la
 					err = lerr
 					return false
 				}
-				m.Access(proc, lineKey(line), mr.Write, mr.Atomic)
+				m.AccessLine(proc, line, mr.Write, mr.Atomic)
 			}
 			return true
 		})
@@ -64,10 +64,6 @@ func RunNestLines(m *Machine, n *loopir.Nest, assign func(p []int64) int, mm *la
 		return nil
 	}
 	return seq(0, map[string]int64{})
-}
-
-func lineKey(line int64) string {
-	return fmt.Sprintf("L%d", line)
 }
 
 // ReplayPoints replays the references of the given iteration points on one

@@ -1,0 +1,197 @@
+package footprint
+
+import (
+	"math"
+
+	"looppart/internal/intmat"
+	"looppart/internal/lattice"
+	"looppart/internal/tile"
+)
+
+// Evaluator scores candidate tiles against an Analysis with the per-class
+// shape-independent terms hoisted out of the per-candidate loop. The
+// searches in internal/partition evaluate hundreds to thousands of
+// candidate shapes against the same Analysis; everything that does not
+// depend on the tile — the class invariance test, the |det G'| volume
+// factor, the spread coefficients uᵢ (a rational linear solve per class),
+// and the projected spread â' — is computed once here instead of once per
+// candidate.
+//
+// The evaluator is a pure accelerator: RectTotalFootprint and
+// TileTotalFootprint return bit-identical values to the Analysis methods
+// of the same name (same class order, same arithmetic, same exactness
+// fold). It is safe for concurrent use: all state is written during
+// construction and only read afterwards.
+type Evaluator struct {
+	a       *Analysis
+	classes []classEval
+
+	// sumDetGr is Σ |det G'| over square classes — the coefficient of the
+	// admissible volume lower bound for hyperparallelepiped tiles.
+	sumDetGr float64
+	// numSquare counts classes with square nonsingular reduced G — the
+	// coefficient of the rectangular volume lower bound.
+	numSquare int
+}
+
+// classEval caches one class's shape-independent terms.
+type classEval struct {
+	c      *Class
+	square bool // reduced G square and nonsingular
+
+	// u are the spread coefficients |uᵢ| of Theorem 4 (â' = u·G'), valid
+	// when uOK; solving them per candidate is the dominant avoidable cost
+	// of the rectangular search.
+	u   []float64
+	uOK bool
+
+	// pairU is the integral translation decomposition of a two-reference
+	// class (Proposition 1 / Lemma 3), rounded to int64 as RectFootprint
+	// does; nil when the class has ≠ 2 refs or the solution is not
+	// integral.
+	pairU []int64
+
+	// gr is the reduced reference matrix, projSpread the projected spread
+	// â' (Theorem 2's replacement row), detGr = |det G'|.
+	gr         intmat.Mat
+	projSpread []int64
+	detGr      float64
+}
+
+// NewEvaluator analyzes a once and returns an evaluator over it.
+func NewEvaluator(a *Analysis) *Evaluator {
+	e := &Evaluator{a: a, classes: make([]classEval, len(a.Classes))}
+	for i := range a.Classes {
+		c := &a.Classes[i]
+		ce := classEval{c: c, gr: c.Reduced.G}
+		ce.square = ce.gr.Rows() == ce.gr.Cols() && ce.gr.IsNonsingular()
+		if ce.square {
+			ce.projSpread = c.Reduced.Project(c.Spread())
+			ce.detGr = math.Abs(float64(ce.gr.Det()))
+			e.sumDetGr += ce.detGr
+			e.numSquare++
+			ce.u, _, ce.uOK = c.SpreadCoeffs()
+			if len(c.Refs) == 2 {
+				if u, integral, ok := c.PairCoeffs(); ok && integral {
+					ce.pairU = make([]int64, len(u))
+					for k := range u {
+						ce.pairU[k] = int64(math.Round(u[k]))
+					}
+				}
+			}
+		}
+		e.classes[i] = ce
+	}
+	return e
+}
+
+// Analysis returns the underlying analysis.
+func (e *Evaluator) Analysis() *Analysis { return e.a }
+
+// RectTotalFootprint is Analysis.RectTotalFootprint with the cached
+// per-class terms: identical values, no per-candidate rational solves.
+func (e *Evaluator) RectTotalFootprint(ext []int64) (float64, Exactness) {
+	total := 0.0
+	worst := Exact
+	for i := range e.classes {
+		v, ex := e.classes[i].rectFootprint(ext)
+		total += v
+		if ex > worst {
+			worst = ex
+		}
+	}
+	return total, worst
+}
+
+// rectFootprint mirrors Class.RectFootprint exactly, reading the cached
+// decomposition instead of re-solving it.
+func (ce *classEval) rectFootprint(ext []int64) (float64, Exactness) {
+	if !ce.square {
+		return float64(ce.c.enumerateRect(ext)), Enumerated
+	}
+	base := 1.0
+	for _, x := range ext {
+		base *= float64(x)
+	}
+	if len(ce.c.Refs) == 1 {
+		return base, Exact
+	}
+	if ce.pairU != nil {
+		bounds := make([]int64, len(ext))
+		for k := range ext {
+			bounds[k] = ext[k] - 1
+		}
+		return float64(lattice.UnionSizeModel(bounds, ce.pairU)), Exact
+	}
+	// Linearized Theorem 4 (Class.RectFootprintLinearized) on the cached
+	// coefficients.
+	if !ce.uOK {
+		return float64(ce.c.enumerateRect(ext)), Enumerated
+	}
+	total := base
+	for i, ui := range ce.u {
+		term := ui
+		for j, x := range ext {
+			if j == i {
+				continue
+			}
+			term *= float64(x)
+		}
+		total += term
+	}
+	return total, Approximate
+}
+
+// TileTotalFootprint is Analysis.TileTotalFootprint with the projected
+// spread and reduced G cached: identical values, only the shape-dependent
+// determinants are computed per candidate.
+func (e *Evaluator) TileTotalFootprint(t tile.Tile) (float64, Exactness) {
+	total := 0.0
+	worst := Exact
+	for i := range e.classes {
+		v, ex := e.classes[i].tileFootprint(t)
+		total += v
+		if ex > worst {
+			worst = ex
+		}
+	}
+	return total, worst
+}
+
+// tileFootprint mirrors Class.TileFootprint on the cached terms.
+func (ce *classEval) tileFootprint(t tile.Tile) (float64, Exactness) {
+	if !ce.square {
+		return float64(ce.c.enumerateTile(t)), Enumerated
+	}
+	lg := t.L.Mul(ce.gr)
+	total := math.Abs(float64(lg.Det()))
+	for i := 0; i < lg.Rows(); i++ {
+		replaced := lg.WithRow(i, ce.projSpread)
+		total += math.Abs(float64(replaced.Det()))
+	}
+	return total, Approximate
+}
+
+// RectLowerBound returns an admissible lower bound on RectTotalFootprint:
+// every class with square nonsingular reduced G' contributes at least the
+// tile volume Π extⱼ (single reference: exactly the volume; a union of
+// translates: at least one translate; the linearized form: volume plus
+// nonnegative spread terms), and classes without a closed form contribute
+// at least zero. The bound is monotone in the volume — the paper's
+// Π(Lⱼⱼ+1) leading term — so a candidate whose volume term alone exceeds
+// an incumbent's full footprint can be discarded before model evaluation.
+func (e *Evaluator) RectLowerBound(ext []int64) float64 {
+	vol := 1.0
+	for _, x := range ext {
+		vol *= float64(x)
+	}
+	return float64(e.numSquare) * vol
+}
+
+// TileLowerBound is the hyperparallelepiped analogue of RectLowerBound for
+// a tile of |det L| = volume: each square class contributes at least
+// |det LG'| = |det L|·|det G'| (the Theorem 2 spread terms are absolute
+// values, hence nonnegative).
+func (e *Evaluator) TileLowerBound(volume int64) float64 {
+	return e.sumDetGr * float64(volume)
+}

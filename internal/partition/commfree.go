@@ -135,7 +135,9 @@ func FindCommFree(a *footprint.Analysis, procs int, includeReadOnly bool) (SlabP
 	reg := telemetry.Active()
 	normals := CommFreeNormals(a, includeReadOnly)
 	if len(normals) == 0 {
-		reg.Emit("partition.commfree.none", "no conflict-orthogonal normal", nil)
+		if reg != nil {
+			reg.Emit("partition.commfree.none", "no conflict-orthogonal normal", nil)
+		}
 		return SlabPlan{}, false
 	}
 	// Prefer the normal giving the widest slabs (most h·i levels per
@@ -146,11 +148,13 @@ func FindCommFree(a *footprint.Analysis, procs int, includeReadOnly bool) (SlabP
 	for _, h := range normals {
 		lo, hi := hyperplaneRange(h, space.Lo, space.Hi)
 		levels := hi - lo + 1
-		reg.Emit("partition.commfree.candidate", fmt.Sprintf("normal=%v", h), map[string]any{
-			"normal":   fmt.Sprint(h),
-			"levels":   levels,
-			"feasible": levels >= int64(procs),
-		})
+		if reg != nil {
+			reg.Emit("partition.commfree.candidate", fmt.Sprintf("normal=%v", h), map[string]any{
+				"normal":   fmt.Sprint(h),
+				"levels":   levels,
+				"feasible": levels >= int64(procs),
+			})
+		}
 		if levels < int64(procs) {
 			continue // cannot give every processor work
 		}
@@ -161,7 +165,7 @@ func FindCommFree(a *footprint.Analysis, procs int, includeReadOnly bool) (SlabP
 			found = true
 		}
 	}
-	if found {
+	if found && reg != nil {
 		reg.Emit("partition.commfree.chosen", fmt.Sprintf("normal=%v", best.Normal), map[string]any{
 			"normal": fmt.Sprint(best.Normal),
 			"width":  best.Width,

@@ -37,27 +37,47 @@ func OptimizeRectLines(a *footprint.Analysis, procs int, lineSize int64) (RectPl
 		return RectPlan{}, err
 	}
 	sizes := space.Extents()
+	grids := factorizations(int64(procs), l)
 
-	var best RectPlan
-	found := false
-	for _, grid := range factorizations(int64(procs), l) {
+	// Candidates score on the engine's worker pool; the line objective has
+	// no cheap admissible bound (line enumeration can undercut the unit-line
+	// volume), so every feasible grid is evaluated. The fold below picks the
+	// winner in enumeration order, matching the sequential scan exactly.
+	type lineCand struct {
+		ext   []int64
+		fp    float64
+		err   error
+		state uint8
+	}
+	cands := make([]lineCand, len(grids))
+	forEachCandidate(len(grids), func(i int) {
+		grid := grids[i]
+		c := &cands[i]
 		ext := make([]int64, l)
-		feasible := true
 		for k := range grid {
 			if grid[k] > sizes[k] {
-				feasible = false
-				break
+				return // infeasible
 			}
 			ext[k] = ceilDiv(sizes[k], grid[k])
 		}
-		if !feasible {
+		c.ext = ext
+		c.fp, c.err = LineFootprint(a, ext, lineSize, mm, space)
+		c.state = candEvaluated
+	})
+
+	var best RectPlan
+	found := false
+	for i := range cands {
+		c := &cands[i]
+		if c.state != candEvaluated {
 			continue
 		}
-		fp, err := LineFootprint(a, ext, lineSize, mm, space)
-		if err != nil {
-			return RectPlan{}, err
+		if c.err != nil {
+			// First error in enumeration order, as the sequential loop
+			// surfaced it.
+			return RectPlan{}, c.err
 		}
-		cand := RectPlan{Grid: grid, Ext: ext, PredictedFootprint: fp, Exactness: footprint.Approximate}
+		cand := RectPlan{Grid: grids[i], Ext: c.ext, PredictedFootprint: c.fp, Exactness: footprint.Approximate}
 		if !found || better(cand, best) {
 			best = cand
 			found = true

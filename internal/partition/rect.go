@@ -11,6 +11,7 @@ package partition
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"looppart/internal/footprint"
 	"looppart/internal/telemetry"
@@ -95,6 +96,11 @@ func ContinuousRatiosData(a *footprint.Analysis) (coeffs []float64, ok bool) {
 // It enumerates every factorization of P into a processor grid (one factor
 // per doall dimension), computes the induced tile extents, and scores each
 // with the footprint model; ties break toward the most balanced grid.
+//
+// Candidates are scored on the engine's worker pool with the per-class
+// model terms memoized once (footprint.Evaluator) and dominated grids
+// pruned by the admissible volume bound; the chosen plan is bit-identical
+// to a sequential scan.
 func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
 	space := tile.BoundsOf(a.Nest)
 	l := space.Dim()
@@ -106,32 +112,66 @@ func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
 	}
 	sizes := space.Extents()
 	reg := telemetry.Active()
+	grids := factorizations(int64(procs), l)
+	ev := footprint.NewEvaluator(a)
 
-	var best RectPlan
-	found := false
-	for _, grid := range factorizations(int64(procs), l) {
+	type rectCand struct {
+		ext   []int64
+		fp    float64
+		ex    footprint.Exactness
+		state uint8
+	}
+	cands := make([]rectCand, len(grids))
+	bound := newMinBound()
+	prune := !pruneDisabled.Load()
+	var evaluated, pruned, infeasible atomic.Int64
+	forEachCandidate(len(grids), func(i int) {
+		c := &cands[i]
+		grid := grids[i]
 		ext := make([]int64, l)
-		feasible := true
 		for k := range grid {
 			if grid[k] > sizes[k] {
-				feasible = false
-				break
+				infeasible.Add(1)
+				return
 			}
 			ext[k] = ceilDiv(sizes[k], grid[k])
 		}
-		if !feasible {
-			reg.Counter("partition.rect.infeasible").Add(1)
+		c.ext = ext
+		if prune {
+			if lb := ev.RectLowerBound(ext); lb > bound.value()+betterEps {
+				c.state = candPruned
+				pruned.Add(1)
+				return
+			}
+		}
+		c.fp, c.ex = ev.RectTotalFootprint(ext)
+		c.state = candEvaluated
+		evaluated.Add(1)
+		bound.observe(c.fp)
+	})
+	reg.Counter("partition.rect.candidates").Add(evaluated.Load())
+	reg.Counter("partition.rect.pruned").Add(pruned.Load())
+	reg.Counter("partition.rect.infeasible").Add(infeasible.Load())
+
+	// Deterministic reduction: fold the scored candidates in enumeration
+	// order with the sequential comparison, so the winner (tie-breaks
+	// included) does not depend on worker scheduling.
+	var best RectPlan
+	found := false
+	for i := range cands {
+		c := &cands[i]
+		if c.state != candEvaluated {
 			continue
 		}
-		fp, ex := a.RectTotalFootprint(ext)
-		cand := RectPlan{Grid: grid, Ext: ext, PredictedFootprint: fp, Exactness: ex}
-		reg.Counter("partition.rect.candidates").Add(1)
-		reg.Emit("partition.rect.candidate", fmt.Sprintf("grid=%v", grid), map[string]any{
-			"grid":      fmt.Sprint(grid),
-			"ext":       fmt.Sprint(ext),
-			"footprint": fp,
-			"exactness": ex.String(),
-		})
+		cand := RectPlan{Grid: grids[i], Ext: c.ext, PredictedFootprint: c.fp, Exactness: c.ex}
+		if reg != nil {
+			reg.Emit("partition.rect.candidate", fmt.Sprintf("grid=%v", cand.Grid), map[string]any{
+				"grid":      fmt.Sprint(cand.Grid),
+				"ext":       fmt.Sprint(cand.Ext),
+				"footprint": cand.PredictedFootprint,
+				"exactness": cand.Exactness.String(),
+			})
+		}
 		if !found || better(cand, best) {
 			best = cand
 			found = true
@@ -143,7 +183,10 @@ func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
 	tr, _ := a.RectTotalTraffic(best.Ext)
 	best.PredictedTraffic = tr
 	if reg != nil {
-		reg.Emit("partition.rect.chosen", fmt.Sprintf("grid=%v", best.Grid), chosenFields(a, best))
+		fields := chosenFields(a, best)
+		fields["evaluated"] = evaluated.Load()
+		fields["pruned"] = pruned.Load()
+		reg.Emit("partition.rect.chosen", fmt.Sprintf("grid=%v", best.Grid), fields)
 	}
 	return best, nil
 }
@@ -177,7 +220,7 @@ func chosenFields(a *footprint.Analysis, p RectPlan) map[string]any {
 // better orders candidate plans: lower footprint wins; ties go to the
 // more balanced grid (smaller max/min factor), then lexicographic.
 func better(a, b RectPlan) bool {
-	const eps = 1e-9
+	const eps = betterEps
 	if a.PredictedFootprint < b.PredictedFootprint-eps {
 		return true
 	}
@@ -209,22 +252,99 @@ func spreadOf(grid []int64) int64 {
 }
 
 // factorizations enumerates all ordered factorizations of n into k
-// positive factors.
+// positive factors, ascending-lexicographic by factor (the order the old
+// recursive enumerator produced). The walk is iterative over divisor
+// indices with the whole result preallocated in one flat backing array —
+// no per-step slice copying.
 func factorizations(n int64, k int) [][]int64 {
+	if k <= 0 || n <= 0 {
+		return nil
+	}
+	divs := divisorsAsc(n)
 	if k == 1 {
 		return [][]int64{{n}}
 	}
-	var out [][]int64
-	for d := int64(1); d <= n; d++ {
-		if n%d != 0 {
+	count := countFactorizations(n, k, divs, map[factKey]int{})
+	backing := make([]int64, 0, count*k)
+	out := make([][]int64, 0, count)
+
+	// idx[d] is the current divisor index chosen at depth d; rem[d] the
+	// value left to factor at depth d. The last factor is forced to rem.
+	idx := make([]int, k)
+	rem := make([]int64, k)
+	cur := make([]int64, k)
+	rem[0] = n
+	depth := 0
+	for depth >= 0 {
+		if depth == k-1 {
+			cur[depth] = rem[depth]
+			backing = append(backing, cur...)
+			out = append(out, backing[len(backing)-k:])
+			depth--
 			continue
 		}
-		for _, rest := range factorizations(n/d, k-1) {
-			f := append([]int64{d}, rest...)
-			out = append(out, f)
+		advanced := false
+		for ; idx[depth] < len(divs); idx[depth]++ {
+			d := divs[idx[depth]]
+			if rem[depth]%d != 0 {
+				continue
+			}
+			cur[depth] = d
+			rem[depth+1] = rem[depth] / d
+			idx[depth]++
+			depth++
+			idx[depth] = 0
+			advanced = true
+			break
+		}
+		if !advanced {
+			depth--
 		}
 	}
 	return out
+}
+
+// divisorsAsc returns the divisors of n in ascending order.
+func divisorsAsc(n int64) []int64 {
+	var lo, hi []int64
+	for d := int64(1); d*d <= n; d++ {
+		if n%d != 0 {
+			continue
+		}
+		lo = append(lo, d)
+		if q := n / d; q != d {
+			hi = append(hi, q)
+		}
+	}
+	for i := len(hi) - 1; i >= 0; i-- {
+		lo = append(lo, hi[i])
+	}
+	return lo
+}
+
+type factKey struct {
+	n int64
+	k int
+}
+
+// countFactorizations counts ordered factorizations of n into k positive
+// factors, memoized, so the enumerator can preallocate exactly.
+func countFactorizations(n int64, k int, divs []int64, memo map[factKey]int) int {
+	if k == 1 {
+		return 1
+	}
+	key := factKey{n, k}
+	if c, ok := memo[key]; ok {
+		return c
+	}
+	total := 0
+	for _, d := range divs {
+		if n%d == 0 {
+			total += countFactorizations(n/d, k-1, divs, memo)
+		}
+	}
+	memo[key] = total
+	return total
 }
 
 func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -286,6 +286,7 @@ func (p *Plan) SimulateBlocked(subExt []int64, cacheLines int) (cachesim.Metrics
 	})
 	cfg := cachesim.DefaultConfig(p.Procs)
 	cfg.CacheLines = cacheLines
+	cfg.ExpectedData = p.expectedData()
 	m, err := cachesim.New(cfg)
 	if err != nil {
 		return cachesim.Metrics{}, err
@@ -343,6 +344,7 @@ func (p *Plan) Simulate(opts SimOptions) (cachesim.Metrics, error) {
 	defer sp.End()
 	cfg := cachesim.DefaultConfig(p.Procs)
 	cfg.CacheLines = opts.CacheLines
+	cfg.ExpectedData = p.expectedData()
 	m, err := cachesim.New(cfg)
 	if err != nil {
 		return cachesim.Metrics{}, err
@@ -353,6 +355,21 @@ func (p *Plan) Simulate(opts SimOptions) (cachesim.Metrics, error) {
 	metrics := m.Finish()
 	metrics.Publish(reg, "sim."+p.Strategy.String()+".")
 	return metrics, nil
+}
+
+// expectedData predicts the number of distinct data a replay touches, for
+// presizing the simulator: the per-processor footprint times the processor
+// count bounds the distinct data from above (sharing only shrinks it).
+func (p *Plan) expectedData() int {
+	if p.PredictedFootprint <= 0 {
+		return 0
+	}
+	n := p.PredictedFootprint * float64(p.Procs)
+	const maxHint = 1 << 20 // don't let a mis-prediction balloon memory
+	if n > maxHint {
+		return maxHint
+	}
+	return int(n)
 }
 
 // MeshOptions parameterizes distributed-memory simulation (§4's Alewife
@@ -396,6 +413,7 @@ func (p *Plan) SimulateMesh(opts MeshOptions) (cachesim.Metrics, error) {
 	cost := machine.DefaultCostModel()
 	cfg := cachesim.DefaultConfig(p.Procs)
 	cfg.CacheLines = opts.CacheLines
+	cfg.ExpectedData = p.expectedData()
 	cfg.MissCost = func(proc int, datum string, atomic bool) (float64, int64) {
 		arr, idx, err := ParseDatum(datum)
 		if err != nil {

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Regenerate BENCH_PARTITION.json: run the search-layer and simulator
+# benchmarks and merge them against the recorded pre-optimization baseline
+# (scripts/.bench_baseline_raw.txt, captured at the commit before the
+# parallel/pruned search engine and cachesim interning landed).
+#
+#   scripts/bench.sh                  # full run, rewrites BENCH_PARTITION.json
+#   OUT=/tmp/b.json scripts/bench.sh  # write elsewhere (verify smoke)
+#   BENCHTIME=10x scripts/bench.sh    # quicker, noisier
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT="${OUT:-BENCH_PARTITION.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+RAW=$(mktemp /tmp/looppart-benchraw.XXXXXX)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkRectSearch|BenchmarkSkewSearch|BenchmarkCachesimReplay' \
+	-benchmem -benchtime "$BENCHTIME" . > "$RAW"
+cat "$RAW"
+
+go run ./scripts/benchjson \
+	-baseline scripts/.bench_baseline_raw.txt \
+	-current "$RAW" \
+	-out "$OUT"
+go run ./scripts/benchjson -validate "$OUT"

@@ -15,6 +15,21 @@ go build ./...
 echo '== go test -race =='
 go test -race ./...
 
+echo '== race: parallel search engine at forced pool sizes =='
+go test -race -count=1 \
+	-run 'TestSearchDeterministicAcrossPoolSizes|TestPruningDoesNotChangePlan' \
+	./internal/partition
+
+echo '== bench smoke: BENCH_PARTITION.json stays well-formed =='
+# A short re-run (10 iterations/benchmark) through the same pipeline that
+# produced the checked-in record; the checked-in file itself must also
+# validate.
+benchout=$(mktemp /tmp/looppart-bench.XXXXXX.json)
+OUT="$benchout" BENCHTIME=10x sh scripts/bench.sh >/dev/null
+go run ./scripts/benchjson -validate "$benchout"
+go run ./scripts/benchjson -validate BENCH_PARTITION.json
+rm -f "$benchout"
+
 echo '== smoke: looppart -trace/-metrics on example8 =='
 trace=$(mktemp /tmp/looppart-trace.XXXXXX.json)
 metrics=$(mktemp /tmp/looppart-metrics.XXXXXX.json)
