@@ -7,9 +7,11 @@ test:
 	go test ./...
 
 # Full check: vet, build, race-enabled tests (including the parallel
-# search engine at forced pool sizes), a bench smoke that re-validates
-# BENCH_PARTITION.json, and a smoke run validating the -trace / -metrics
-# telemetry exports end to end.
+# search engine at forced pool sizes and the serving layer's
+# singleflight/shedding/shutdown), a bench smoke that re-validates
+# BENCH_PARTITION.json, a smoke run validating the -trace / -metrics
+# telemetry exports end to end, and a looppartd daemon smoke (serve,
+# cache, byte-identical hit, drain).
 verify:
 	sh scripts/verify.sh
 

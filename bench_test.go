@@ -10,7 +10,13 @@ package looppart_test
 // and compare against EXPERIMENTS.md. Failing claims abort the benchmark.
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"looppart"
@@ -18,6 +24,7 @@ import (
 	"looppart/internal/footprint"
 	"looppart/internal/paperex"
 	"looppart/internal/partition"
+	"looppart/internal/server"
 )
 
 func benchExperiment(b *testing.B, run func() experiments.Result) {
@@ -177,3 +184,80 @@ func BenchmarkE19_Placement(b *testing.B) { benchExperiment(b, experiments.E19) 
 func BenchmarkE20_ModelAccuracy(b *testing.B) { benchExperiment(b, experiments.E20) }
 
 func BenchmarkE21_VsRuntimeSched(b *testing.B) { benchExperiment(b, experiments.E21) }
+
+// Serving-layer benchmarks: the latency a looppartd client sees on a
+// cache miss (full search) versus a cache hit (canonical-key lookup),
+// and batch throughput through the HTTP layer. Recorded in
+// BENCH_PARTITION.json as current-only rows (the serving layer has no
+// pre-optimization baseline).
+
+func BenchmarkServePlanMiss(b *testing.B) {
+	req := looppart.PlanRequest{
+		Source: paperex.Example8, Params: map[string]int64{"N": 24},
+		Procs: 64, Strategy: "skewed",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		svc := looppart.NewService(looppart.ServiceOptions{})
+		if _, err := svc.Plan(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServePlanHit(b *testing.B) {
+	req := looppart.PlanRequest{
+		Source: paperex.Example8, Params: map[string]int64{"N": 24},
+		Procs: 64, Strategy: "skewed",
+	}
+	svc := looppart.NewService(looppart.ServiceOptions{})
+	if _, err := svc.Plan(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := svc.Plan(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Hit() {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+func BenchmarkServeBatch(b *testing.B) {
+	svc := looppart.NewService(looppart.ServiceOptions{})
+	ts := httptest.NewServer(server.New(server.Config{Service: svc}).Handler())
+	defer ts.Close()
+
+	reqs := make([]looppart.PlanRequest, 8)
+	for i := range reqs {
+		// Two distinct keys per batch; the rest are duplicates that
+		// collapse through the cache and singleflight group.
+		reqs[i] = looppart.PlanRequest{
+			Source: paperex.Example8, Params: map[string]int64{"N": 24},
+			Procs: 8 << (i % 2), Strategy: "rect",
+		}
+	}
+	body, err := json.Marshal(struct {
+		Requests []looppart.PlanRequest `json:"requests"`
+	}{reqs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/plan/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

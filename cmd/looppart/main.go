@@ -87,7 +87,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("expected one program file or example name; try: looppart -procs 100 example2")
+		return fmt.Errorf("expected one program file, example name, or - for stdin; try: looppart -procs 100 example2")
 	}
 	src, err := loadProgram(fs.Arg(0))
 	if err != nil {
@@ -168,6 +168,10 @@ func run(args []string, out io.Writer) error {
 }
 
 func loadProgram(arg string) (string, error) {
+	if arg == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
 	if src, ok := paperex.All[strings.ToLower(arg)]; ok {
 		return src, nil
 	}

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
+
+	"looppart"
+	"looppart/internal/paperex"
 )
 
 func TestRunExample2(t *testing.T) {
@@ -172,5 +177,69 @@ func TestRunTraceAndMetricsFiles(t *testing.T) {
 	}
 	if !strings.Contains(string(text), "cold_misses") {
 		t.Errorf("metrics dump missing simulation counters:\n%s", text)
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	src := "doall (i, 1, 16)\n A[i] = A[i] + 1\nenddoall\n"
+	path := filepath.Join(t.TempDir(), "stdin.loop")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	orig := os.Stdin
+	os.Stdin = f
+	defer func() { os.Stdin = orig }()
+
+	var fromStdin strings.Builder
+	if err := run([]string{"-procs", "4", "-"}, &fromStdin); err != nil {
+		t.Fatal(err)
+	}
+	var fromFile strings.Builder
+	if err := run([]string{"-procs", "4", path}, &fromFile); err != nil {
+		t.Fatal(err)
+	}
+	if fromStdin.String() != fromFile.String() {
+		t.Errorf("stdin output differs from file output:\n%s\nvs\n%s", fromStdin.String(), fromFile.String())
+	}
+}
+
+// TestServedPlanMatchesCLI is the serving golden test: for each
+// nest/procs/strategy, the plan line the service returns must appear
+// byte-for-byte in what this CLI prints.
+func TestServedPlanMatchesCLI(t *testing.T) {
+	svc := looppart.NewService(looppart.ServiceOptions{})
+	for _, tc := range []struct {
+		example, strategy string
+		procs             int
+	}{
+		{"example2", "auto", 100},
+		{"example3", "rect", 16},
+		{"example8", "rect", 64},
+		{"example8", "skewed", 16},
+		{"example10", "auto", 16},
+	} {
+		resp, err := svc.Plan(context.Background(), looppart.PlanRequest{
+			Source:   paperex.All[tc.example],
+			Params:   map[string]int64{"N": 64, "T": 4},
+			Procs:    tc.procs,
+			Strategy: tc.strategy,
+		})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.example, tc.strategy, err)
+		}
+		var cli strings.Builder
+		args := []string{"-procs", strconv.Itoa(tc.procs), "-strategy", tc.strategy, tc.example}
+		if err := run(args, &cli); err != nil {
+			t.Fatalf("%s/%s: %v", tc.example, tc.strategy, err)
+		}
+		if !strings.Contains(cli.String(), resp.Result.Rendered) {
+			t.Errorf("%s/%s: served plan %q not found in CLI output:\n%s",
+				tc.example, tc.strategy, resp.Result.Rendered, cli.String())
+		}
 	}
 }

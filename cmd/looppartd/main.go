@@ -1,0 +1,332 @@
+// Command looppartd is the partition-planning daemon: a long-running HTTP
+// service that answers plan requests through a canonicalized plan cache
+// with singleflight deduplication and admission control, so a fleet of
+// consumers pays one search per distinct (nest, procs, strategy) instead
+// of one per invocation.
+//
+// Serve mode (default):
+//
+//	looppartd -addr 127.0.0.1:8077
+//
+//	-addr ADDR         listen address (default 127.0.0.1:8077)
+//	-portfile FILE     write the bound address to FILE once listening
+//	-max-inflight N    planning requests served concurrently before
+//	                   shedding with 429 (default 4×GOMAXPROCS)
+//	-timeout D         per-request planning deadline (default 10s)
+//	-max-body N        request body limit in bytes (default 1 MiB)
+//	-cache-mb N        plan-cache budget in MiB (default 64)
+//	-span-cap N        retained telemetry spans (default 4096)
+//	-event-cap N       retained decision events (default 16384)
+//	-trace FILE        write a Chrome trace on shutdown
+//	-metrics FILE      write a metrics dump on shutdown
+//	-pprof ADDR        serve net/http/pprof on ADDR
+//
+// The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight plans.
+// Live metrics are always available at GET /metrics.
+//
+// Load-generator mode, for driving the serving benchmarks against a
+// running daemon:
+//
+//	looppartd -loadgen -url http://127.0.0.1:8077 -n 1000 -c 8 example8
+//
+//	-n N       total requests (default 200)
+//	-c N       concurrent workers (default 4)
+//	-batch K   send batches of K items instead of single requests
+//	-procs P, -strategy S, -param N=V   the planning request
+//
+// The nest argument is a built-in example name, a file, or - for stdin.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"looppart"
+	"looppart/internal/cliflag"
+	"looppart/internal/paperex"
+	"looppart/internal/server"
+	"looppart/internal/telemetry"
+)
+
+type paramFlags map[string]int64
+
+func (p paramFlags) String() string { return fmt.Sprint(map[string]int64(p)) }
+
+func (p paramFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("expected NAME=VALUE, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad value in %q: %v", s, err)
+	}
+	p[name] = v
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "looppartd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("looppartd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	portfile := fs.String("portfile", "", "write the bound address to this file once listening")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent planning requests before shedding (0 = 4×GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request planning deadline")
+	maxBody := fs.Int64("max-body", 1<<20, "request body limit in bytes")
+	cacheMB := fs.Int64("cache-mb", 64, "plan-cache budget in MiB")
+	spanCap := fs.Int("span-cap", 4096, "retained telemetry spans (0 = unbounded)")
+	eventCap := fs.Int("event-cap", 16384, "retained decision events (0 = unbounded)")
+	loadgen := fs.Bool("loadgen", false, "drive load at a running daemon instead of serving")
+	url := fs.String("url", "", "loadgen: base URL of the daemon")
+	n := fs.Int("n", 200, "loadgen: total requests")
+	c := fs.Int("c", 4, "loadgen: concurrent workers")
+	batch := fs.Int("batch", 0, "loadgen: items per batch request (0 = single requests)")
+	procs := fs.Int("procs", 16, "loadgen: processors in the plan request")
+	strategy := fs.String("strategy", "rect", "loadgen: strategy in the plan request")
+	params := paramFlags{"N": 64, "T": 4}
+	fs.Var(params, "param", "loadgen: loop-bound parameter NAME=VALUE (repeatable)")
+	var obs cliflag.Obs
+	obs.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *loadgen {
+		return runLoadgen(ctx, loadgenConfig{
+			url: *url, n: *n, c: *c, batch: *batch,
+			procs: *procs, strategy: *strategy, params: params,
+			nestArg: fs.Args(),
+		}, out)
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve mode takes no arguments (use -loadgen to drive load)")
+	}
+
+	reg, err := obs.Setup()
+	if err != nil {
+		return err
+	}
+	if reg == nil {
+		// The daemon always runs with telemetry on: /metrics serves it.
+		reg = telemetry.New()
+	}
+	reg.SetRecordCaps(*spanCap, *eventCap)
+	prev := telemetry.SetActive(reg)
+	defer telemetry.SetActive(prev)
+
+	svc := looppart.NewService(looppart.ServiceOptions{CacheBytes: *cacheMB << 20})
+	srv := server.New(server.Config{
+		Service:      svc,
+		Registry:     reg,
+		MaxInflight:  *maxInflight,
+		PlanTimeout:  *timeout,
+		MaxBodyBytes: *maxBody,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(out, "looppartd: serving on http://%s\n", bound)
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "looppartd: draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		return err
+	}
+	st := svc.Stats()
+	fmt.Fprintf(out, "looppartd: served %d requests (%d searches, %d cache hits), bye\n",
+		st.Requests, st.Searches, st.CacheHits)
+	return obs.Flush(reg)
+}
+
+// loadgenConfig parameterizes one load-generation run.
+type loadgenConfig struct {
+	url      string
+	n, c     int
+	batch    int
+	procs    int
+	strategy string
+	params   map[string]int64
+	nestArg  []string
+}
+
+// loadSource resolves the loadgen nest argument: a built-in example name,
+// a file path, or - for stdin (default example8).
+func loadSource(args []string) (string, error) {
+	if len(args) == 0 {
+		return paperex.Example8, nil
+	}
+	if len(args) != 1 {
+		return "", fmt.Errorf("loadgen takes one nest argument, got %d", len(args))
+	}
+	arg := args[0]
+	if arg == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	if src, ok := paperex.All[strings.ToLower(arg)]; ok {
+		return src, nil
+	}
+	data, err := os.ReadFile(arg)
+	return string(data), err
+}
+
+func runLoadgen(ctx context.Context, cfg loadgenConfig, out io.Writer) error {
+	if cfg.url == "" {
+		return fmt.Errorf("loadgen requires -url (the daemon's base address)")
+	}
+	if cfg.n < 1 || cfg.c < 1 {
+		return fmt.Errorf("loadgen requires -n >= 1 and -c >= 1")
+	}
+	src, err := loadSource(cfg.nestArg)
+	if err != nil {
+		return err
+	}
+	req := looppart.PlanRequest{Source: src, Params: cfg.params, Procs: cfg.procs, Strategy: cfg.strategy}
+	single, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	endpoint := cfg.url + "/v1/plan"
+	body := single
+	if cfg.batch > 0 {
+		reqs := make([]looppart.PlanRequest, cfg.batch)
+		for i := range reqs {
+			reqs[i] = req
+		}
+		wrapped := struct {
+			Requests []looppart.PlanRequest `json:"requests"`
+		}{reqs}
+		if body, err = json.Marshal(wrapped); err != nil {
+			return err
+		}
+		endpoint = cfg.url + "/v1/plan/batch"
+	}
+
+	var (
+		next           atomic.Int64
+		okCount        atomic.Int64
+		shed           atomic.Int64
+		failed         atomic.Int64
+		hits           atomic.Int64
+		totalNs, maxNs atomic.Int64
+		firstErr       atomic.Pointer[string]
+		client         = &http.Client{Timeout: 60 * time.Second}
+	)
+	recordErr := func(msg string) {
+		failed.Add(1)
+		firstErr.CompareAndSwap(nil, &msg)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(cfg.c)
+	for w := 0; w < cfg.c; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if int(next.Add(1)) > cfg.n || ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(body))
+				if err != nil {
+					recordErr(err.Error())
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				d := time.Since(t0).Nanoseconds()
+				totalNs.Add(d)
+				for {
+					cur := maxNs.Load()
+					if d <= cur || maxNs.CompareAndSwap(cur, d) {
+						break
+					}
+				}
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					okCount.Add(1)
+					if st := resp.Header.Get("X-Plancache"); st == "hit" || st == "dedup" {
+						hits.Add(1)
+					}
+				case resp.StatusCode == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					recordErr(fmt.Sprintf("status %d", resp.StatusCode))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	done := okCount.Load() + shed.Load() + failed.Load()
+	kind := "requests"
+	if cfg.batch > 0 {
+		kind = fmt.Sprintf("batches of %d", cfg.batch)
+	}
+	fmt.Fprintf(out, "loadgen: %d %s in %v (%.0f/s), %d ok, %d shed, %d failed\n",
+		done, kind, wall.Round(time.Millisecond), float64(done)/wall.Seconds(),
+		okCount.Load(), shed.Load(), failed.Load())
+	if ok := okCount.Load(); ok > 0 {
+		fmt.Fprintf(out, "loadgen: cache hits %d/%d (%.0f%%), latency mean %v max %v\n",
+			hits.Load(), ok, 100*float64(hits.Load())/float64(ok),
+			time.Duration(totalNs.Load()/done).Round(time.Microsecond),
+			time.Duration(maxNs.Load()).Round(time.Microsecond))
+	}
+	if msg := firstErr.Load(); msg != nil {
+		return fmt.Errorf("loadgen: %d requests failed (first: %s)", failed.Load(), *msg)
+	}
+	if errors.Is(ctx.Err(), context.Canceled) {
+		return nil
+	}
+	return ctx.Err()
+}

@@ -70,7 +70,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("expected one program file or example name")
+		return fmt.Errorf("expected one program file, example name, or - for stdin")
 	}
 	reg, err := obs.Setup()
 	if err != nil {
@@ -78,9 +78,17 @@ func run(args []string, out io.Writer) error {
 	}
 	prev := telemetry.SetActive(reg)
 	defer telemetry.SetActive(prev)
-	src, ok := paperex.All[strings.ToLower(fs.Arg(0))]
-	if !ok {
-		data, err := os.ReadFile(fs.Arg(0))
+	var src string
+	if arg := fs.Arg(0); arg == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		src = string(data)
+	} else if builtin, ok := paperex.All[strings.ToLower(arg)]; ok {
+		src = builtin
+	} else {
+		data, err := os.ReadFile(arg)
 		if err != nil {
 			return err
 		}

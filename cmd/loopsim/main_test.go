@@ -102,3 +102,27 @@ func TestRunTelemetryExports(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFromStdin(t *testing.T) {
+	src := "doall (i, 1, 16)\n A[i] = A[i] + 1\nenddoall\n"
+	path := filepath.Join(t.TempDir(), "stdin.loop")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	orig := os.Stdin
+	os.Stdin = f
+	defer func() { os.Stdin = orig }()
+
+	var b strings.Builder
+	if err := run([]string{"-procs", "4", "-"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "strategy") {
+		t.Errorf("table missing from stdin run:\n%s", b.String())
+	}
+}

@@ -1,0 +1,90 @@
+// Package plancache is the caching layer of the partition-planning
+// service: a canonical plan key derived from a normalized loop nest, a
+// byte-bounded LRU cache of encoded plans, and a singleflight group that
+// collapses concurrent searches for the same nest into one.
+//
+// The paper's central observation makes plans highly cacheable: the
+// communication-optimal tile shape depends only on the loop's affine
+// reference structure (G, a), its iteration-space bounds, and the
+// processor count P (Theorems 2 and 4) — not on who asks, when, or how
+// the nest happens to spell its index variables. Canonicalization
+// normalizes away exactly the request variation that cannot change the
+// answer: whitespace, index naming, reference order within the body, and
+// symbolic loop-bound parameters (already resolved to integers by the
+// parser).
+package plancache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"looppart/internal/loopir"
+)
+
+// CanonicalNest renders a parsed nest in canonical textual form:
+//
+//   - loop variables are renamed positionally (i00, i01, ... outermost
+//     first), so index naming is erased;
+//   - loop bounds are the resolved integers (symbolic parameters were
+//     substituted at parse time);
+//   - the body is reduced to its access multiset — one line per array
+//     reference occurrence with its role (read, write, atomic) — sorted
+//     lexicographically, so statement and operand order are erased.
+//
+// Two nests with equal canonical forms have identical reference analyses
+// up to class ordering and therefore identical optimal plans. Array names
+// are kept verbatim: renaming arrays canonically is reference-order
+// dependent and the plan itself never depends on them, so distinct names
+// only cost cache sharing, never correctness.
+func CanonicalNest(n *loopir.Nest) string {
+	rename := make(map[string]string, len(n.Loops))
+	var b strings.Builder
+	for k, l := range n.Loops {
+		v := fmt.Sprintf("i%02d", k)
+		rename[l.Var] = v
+		fmt.Fprintf(&b, "%s %s %d %d\n", l.Kind, v, l.Lo, l.Hi)
+	}
+	accs := n.Accesses()
+	lines := make([]string, 0, len(accs))
+	for _, acc := range accs {
+		role := "r"
+		switch {
+		case acc.Write && acc.Atomic:
+			role = "w$"
+		case acc.Write:
+			role = "w"
+		case acc.Atomic:
+			role = "r$"
+		}
+		lines = append(lines, role+" "+renderRef(acc.Ref, rename))
+	}
+	sort.Strings(lines)
+	b.WriteString(strings.Join(lines, "\n"))
+	return b.String()
+}
+
+// renderRef renders one reference with canonical index names. The
+// canonical names share a fixed width, so AffineExpr's lexicographic
+// variable order coincides with nest order.
+func renderRef(r loopir.Ref, rename map[string]string) string {
+	subs := make([]string, len(r.Subs))
+	for i, sub := range r.Subs {
+		e := loopir.NewAffine(sub.Const)
+		for v, c := range sub.Coef {
+			e = e.AddTerm(rename[v], c)
+		}
+		subs[i] = e.String()
+	}
+	return r.Array + "[" + strings.Join(subs, ",") + "]"
+}
+
+// Key returns the cache key for planning the nest on procs processors
+// under the named strategy: a digest of the canonical nest, prefixed with
+// the request parameters for debuggability.
+func Key(n *loopir.Nest, procs int, strategy string) string {
+	sum := sha256.Sum256([]byte(CanonicalNest(n)))
+	return fmt.Sprintf("%s/p%d/%s", strategy, procs, hex.EncodeToString(sum[:16]))
+}

@@ -1,0 +1,149 @@
+package plancache
+
+import (
+	"strings"
+	"testing"
+
+	"looppart/internal/loopir"
+)
+
+func mustNest(t *testing.T, src string, params map[string]int64) *loopir.Nest {
+	t.Helper()
+	n, err := loopir.Parse(src, params)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return n
+}
+
+func TestCanonicalNestNormalizesNaming(t *testing.T) {
+	base := mustNest(t, `
+doall (i, 1, 100)
+  doall (j, 1, 100)
+    A[i,j] = B[i+j,j] + B[i+j+1,j+2]
+  enddoall
+enddoall
+`, nil)
+	renamed := mustNest(t, `
+doall (row, 1, 100)
+  doall (col, 1, 100)
+    A[row,col] = B[row+col,col] + B[row+col+1,col+2]
+  enddoall
+enddoall
+`, nil)
+	if CanonicalNest(base) != CanonicalNest(renamed) {
+		t.Errorf("index renaming changed the canonical form:\n%s\nvs\n%s",
+			CanonicalNest(base), CanonicalNest(renamed))
+	}
+}
+
+func TestCanonicalNestNormalizesReferenceOrder(t *testing.T) {
+	base := mustNest(t, `
+doall (i, 1, 50)
+  doall (j, 1, 50)
+    A[i,j] = B[i,j] + B[i+1,j+3]
+  enddoall
+enddoall
+`, nil)
+	reordered := mustNest(t, `
+doall (i, 1, 50)
+  doall (j, 1, 50)
+    A[i,j] = B[i+1,j+3] + B[i,j]
+  enddoall
+enddoall
+`, nil)
+	if CanonicalNest(base) != CanonicalNest(reordered) {
+		t.Errorf("reference order changed the canonical form:\n%s\nvs\n%s",
+			CanonicalNest(base), CanonicalNest(reordered))
+	}
+}
+
+func TestCanonicalNestResolvesParams(t *testing.T) {
+	sym := mustNest(t, `
+doall (i, 1, N)
+  A[i] = B[i+1]
+enddoall
+`, map[string]int64{"N": 64})
+	lit := mustNest(t, `
+doall (i, 1, 64)
+  A[i] = B[i+1]
+enddoall
+`, nil)
+	if CanonicalNest(sym) != CanonicalNest(lit) {
+		t.Errorf("parameter resolution changed the canonical form:\n%s\nvs\n%s",
+			CanonicalNest(sym), CanonicalNest(lit))
+	}
+}
+
+func TestCanonicalNestDistinguishes(t *testing.T) {
+	base := mustNest(t, `
+doall (i, 1, 64)
+  A[i] = B[i+1]
+enddoall
+`, nil)
+	cases := map[string]*loopir.Nest{
+		"different bounds": mustNest(t, `
+doall (i, 1, 65)
+  A[i] = B[i+1]
+enddoall
+`, nil),
+		"different offset": mustNest(t, `
+doall (i, 1, 64)
+  A[i] = B[i+2]
+enddoall
+`, nil),
+		"extra reference": mustNest(t, `
+doall (i, 1, 64)
+  A[i] = B[i+1] + B[i]
+enddoall
+`, nil),
+		"different array": mustNest(t, `
+doall (i, 1, 64)
+  A[i] = C[i+1]
+enddoall
+`, nil),
+	}
+	for name, n := range cases {
+		if CanonicalNest(base) == CanonicalNest(n) {
+			t.Errorf("%s: canonical forms collide:\n%s", name, CanonicalNest(n))
+		}
+	}
+}
+
+func TestCanonicalNestKeepsLoopKinds(t *testing.T) {
+	doall := mustNest(t, `
+doall (t, 1, 4)
+  doall (i, 1, 16)
+    A[i] = A[i] + B[i]
+  enddoall
+enddoall
+`, nil)
+	doseq := mustNest(t, `
+doseq (t, 1, 4)
+  doall (i, 1, 16)
+    A[i] = A[i] + B[i]
+  enddoall
+enddoseq
+`, nil)
+	if CanonicalNest(doall) == CanonicalNest(doseq) {
+		t.Error("doseq and doall outer loops must not share a canonical form")
+	}
+}
+
+func TestKeyVariesWithRequestParameters(t *testing.T) {
+	n := mustNest(t, `
+doall (i, 1, 64)
+  A[i] = B[i+1]
+enddoall
+`, nil)
+	k := Key(n, 16, "rect")
+	if !strings.HasPrefix(k, "rect/p16/") {
+		t.Errorf("key %q lacks the readable prefix", k)
+	}
+	if Key(n, 16, "rect") != k {
+		t.Error("key not deterministic")
+	}
+	if Key(n, 32, "rect") == k || Key(n, 16, "skewed") == k {
+		t.Error("procs/strategy must vary the key")
+	}
+}

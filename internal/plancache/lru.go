@@ -1,0 +1,136 @@
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"looppart/internal/telemetry"
+)
+
+// DefaultMaxBytes is the cache budget used when none is configured.
+const DefaultMaxBytes = 64 << 20
+
+// entryOverhead approximates the per-entry bookkeeping cost (list element,
+// map bucket share, headers) charged against the byte budget on top of the
+// key and value lengths.
+const entryOverhead = 128
+
+// Cache is a byte-bounded LRU of encoded plans, safe for concurrent use.
+// Values are treated as immutable by both sides: Put keeps the given
+// slice, Get returns it without copying.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache bounded at maxBytes (DefaultMaxBytes when
+// maxBytes <= 0).
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		telemetry.Active().Counter("plancache.misses").Add(1)
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	val := el.Value.(*entry).val
+	c.mu.Unlock()
+	telemetry.Active().Counter("plancache.hits").Add(1)
+	return val, true
+}
+
+// Put inserts or replaces the value for key and evicts from the LRU tail
+// until the byte budget holds. A value that alone exceeds the budget is
+// not cached.
+func (c *Cache) Put(key string, val []byte) {
+	size := int64(len(key)+len(val)) + entryOverhead
+	if size > c.maxBytes {
+		return
+	}
+	var evicted int64
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.bytes += size
+	}
+	for c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.key)+len(e.val)) + entryOverhead
+		c.evictions++
+		evicted++
+	}
+	c.mu.Unlock()
+	if evicted > 0 {
+		telemetry.Active().Counter("plancache.evictions").Add(evicted)
+	}
+}
+
+// Stats is a point-in-time view of the cache counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// Stats returns the current counters and occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}
+
+// HitRatio returns hits / (hits+misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}

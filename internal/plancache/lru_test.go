@@ -1,0 +1,86 @@
+package plancache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(1 << 20)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", []byte("v1"))
+	v, ok := c.Get("k")
+	if !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("got %q, %v", v, ok)
+	}
+	c.Put("k", []byte("v2"))
+	v, _ = c.Get("k")
+	if !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("update not visible: %q", v)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	// Room for roughly three entries of ~256 bytes each.
+	val := make([]byte, 128)
+	per := int64(1+len(val)) + entryOverhead
+	c := NewCache(3 * per)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("%d", i), val)
+	}
+	c.Get("0") // refresh 0: the LRU victim becomes 1
+	c.Put("3", val)
+	if _, ok := c.Get("1"); ok {
+		t.Error("LRU entry 1 survived eviction")
+	}
+	for _, k := range []string{"0", "2", "3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("entry %s evicted out of LRU order", k)
+		}
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Bytes > s.MaxBytes {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheRejectsOversizeValue(t *testing.T) {
+	c := NewCache(256)
+	c.Put("big", make([]byte, 1024))
+	if _, ok := c.Get("big"); ok {
+		t.Error("value larger than the whole budget was cached")
+	}
+	if s := c.Stats(); s.Bytes != 0 || s.Entries != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCacheByteAccounting(t *testing.T) {
+	c := NewCache(1 << 20)
+	c.Put("a", make([]byte, 100))
+	c.Put("b", make([]byte, 200))
+	want := int64(1+100) + entryOverhead + int64(1+200) + entryOverhead
+	if s := c.Stats(); s.Bytes != want {
+		t.Errorf("bytes = %d, want %d", s.Bytes, want)
+	}
+	c.Put("a", make([]byte, 50)) // shrink in place
+	want -= 50
+	if s := c.Stats(); s.Bytes != want {
+		t.Errorf("bytes after update = %d, want %d", s.Bytes, want)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	if r := (Stats{}).HitRatio(); r != 0 {
+		t.Errorf("empty ratio = %v", r)
+	}
+	if r := (Stats{Hits: 3, Misses: 1}).HitRatio(); r != 0.75 {
+		t.Errorf("ratio = %v", r)
+	}
+}

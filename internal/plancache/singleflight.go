@@ -1,0 +1,68 @@
+package plancache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Group deduplicates concurrent work by key: while a call for a key is in
+// flight, further Do calls for the same key wait for its result instead
+// of running fn again. Unlike a bare mutex, waiters honor their contexts —
+// a caller whose context expires leaves without canceling the flight, so
+// the search still completes and (via fn's side effects) lands in the
+// cache for the next request.
+type Group struct {
+	mu     sync.Mutex
+	calls  map[string]*flight
+	dedups atomic.Int64
+}
+
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Do runs fn for key, collapsing concurrent duplicates onto one
+// execution. shared reports whether this caller joined an existing flight
+// rather than starting one. fn runs on its own goroutine detached from
+// any caller's context.
+func (g *Group) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flight)
+	}
+	f, ok := g.calls[key]
+	if ok {
+		g.mu.Unlock()
+		g.dedups.Add(1)
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f = &flight{done: make(chan struct{})}
+	g.calls[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		f.val, f.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+
+	select {
+	case <-f.done:
+		return f.val, false, f.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// Dedups returns how many Do calls joined an existing flight.
+func (g *Group) Dedups() int64 { return g.dedups.Load() }

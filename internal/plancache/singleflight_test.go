@@ -1,0 +1,112 @@
+package plancache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCollapsesConcurrentCalls proves real dedup: the leader's fn
+// blocks until all other callers have joined the flight, so exactly one
+// execution serves everyone.
+func TestGroupCollapsesConcurrentCalls(t *testing.T) {
+	const K = 8
+	var g Group
+	var runs atomic.Int64
+	joined := make(chan struct{})
+	release := make(chan struct{})
+
+	fn := func() ([]byte, error) {
+		runs.Add(1)
+		<-release
+		return []byte("plan"), nil
+	}
+
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	wg.Add(K)
+	for i := 0; i < K; i++ {
+		go func() {
+			defer wg.Done()
+			<-joined
+			v, shared, err := g.Do(context.Background(), "key", fn)
+			if err != nil || string(v) != "plan" {
+				t.Errorf("Do = %q, %v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Start the leader flight, then let the rest pile on before releasing.
+	close(joined)
+	for g.Dedups() < K-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	if n := sharedCount.Load(); n != K-1 {
+		t.Errorf("%d callers reported shared, want %d", n, K-1)
+	}
+}
+
+func TestGroupSequentialCallsRunSeparately(t *testing.T) {
+	var g Group
+	var runs atomic.Int64
+	fn := func() ([]byte, error) { runs.Add(1); return nil, nil }
+	for i := 0; i < 3; i++ {
+		if _, shared, err := g.Do(context.Background(), "k", fn); err != nil || shared {
+			t.Fatalf("Do #%d: shared=%v err=%v", i, shared, err)
+		}
+	}
+	if n := runs.Load(); n != 3 {
+		t.Errorf("fn ran %d times, want 3 (no flight was in progress)", n)
+	}
+}
+
+func TestGroupPropagatesError(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	_, _, err := g.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestGroupContextLeavesFlightRunning: a waiter whose context expires
+// returns promptly, but the flight itself completes and its side effects
+// (the cache fill) still happen.
+func TestGroupContextLeavesFlightRunning(t *testing.T) {
+	var g Group
+	release := make(chan struct{})
+	finished := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, "k", func() ([]byte, error) {
+			<-release
+			close(finished)
+			return []byte("x"), nil
+		})
+		done <- err
+	}()
+
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight did not complete after the waiter left")
+	}
+}

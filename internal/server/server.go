@@ -1,0 +1,342 @@
+// Package server exposes the partition-planning service over a stdlib
+// net/http JSON API — the serving layer of cmd/looppartd.
+//
+// Endpoints:
+//
+//	POST /v1/plan        {source, params, procs, strategy} → PlanResult
+//	                     (?explain=1 adds the decision trace)
+//	POST /v1/plan/batch  {requests: [...]} → {responses: [...]}
+//	GET  /healthz        liveness probe
+//	GET  /metrics        Prometheus-style text exposition of the registry
+//
+// The response body of a non-explain /v1/plan is exactly the cached
+// PlanResult JSON, so a hit is byte-identical to the miss that filled it;
+// how the request was served travels out of band in the X-Plancache
+// header (miss | hit | dedup | bypass).
+//
+// Admission control: a bounded in-flight semaphore sheds planning load
+// with 429 + Retry-After once MaxInflight requests are being served;
+// request bodies are size-limited; each request's planning work runs
+// under a deadline. Liveness and metrics bypass admission so the service
+// stays observable under overload. Graceful shutdown is the caller's
+// http.Server.Shutdown, which drains in-flight handlers.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"looppart"
+	"looppart/internal/telemetry"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Service answers the planning requests (required).
+	Service *looppart.Service
+	// Registry receives the server's own spans, counters, and gauges and
+	// backs /metrics. May be nil (endpoints still work; /metrics is empty).
+	Registry *telemetry.Registry
+	// MaxInflight bounds concurrently served planning requests
+	// (default 4×GOMAXPROCS). Excess requests are shed with 429.
+	MaxInflight int
+	// PlanTimeout bounds one request's planning work (default 10s). A
+	// request that exceeds it gets 503; the underlying search still
+	// completes and fills the cache.
+	PlanTimeout time.Duration
+	// MaxBodyBytes bounds a request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+// Server routes the planning API. Install via Handler().
+type Server struct {
+	cfg Config
+	sem chan struct{}
+	mux *http.ServeMux
+
+	// explainMu serializes explain requests (writers) against all other
+	// planning (readers): Service.Explain swaps in a private telemetry
+	// registry to collect a clean decision trace, so nothing else may
+	// plan while one runs.
+	explainMu sync.RWMutex
+
+	// testPlanGate, when set, is called at the start of every planning
+	// request after admission; tests use it to hold requests in flight
+	// deterministically.
+	testPlanGate func()
+}
+
+// New returns a Server for cfg.
+func New(cfg Config) *Server {
+	if cfg.Service == nil {
+		panic("server: Config.Service is required")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.PlanTimeout <= 0 {
+		cfg.PlanTimeout = 10 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInflight),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/v1/plan", s.handlePlan)
+	s.mux.HandleFunc("/v1/plan/batch", s.handleBatch)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// admit reserves an in-flight slot, or sheds the request with 429.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.cfg.Registry.Gauge("server.inflight").Set(float64(len(s.sem)))
+		return true
+	default:
+		s.cfg.Registry.Counter("server.shed").Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server at capacity, retry shortly")
+		return false
+	}
+}
+
+func (s *Server) release() {
+	<-s.sem
+	s.cfg.Registry.Gauge("server.inflight").Set(float64(len(s.sem)))
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+// decode reads a size-limited JSON body into v. It reports 413 for
+// oversized bodies and 400 for malformed ones.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// plan runs one planning request under the explain read-lock and the
+// request deadline.
+func (s *Server) plan(ctx context.Context, req looppart.PlanRequest) (*looppart.PlanResponse, error) {
+	if s.testPlanGate != nil {
+		s.testPlanGate()
+	}
+	s.explainMu.RLock()
+	defer s.explainMu.RUnlock()
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.PlanTimeout)
+	defer cancel()
+	return s.cfg.Service.Plan(ctx, req)
+}
+
+// planStatus maps a planning error to an HTTP status: deadline/cancel →
+// 503 (the search outlived this request's budget), anything else → 422
+// (the request was well-formed JSON but not plannable).
+func planStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	reg := s.cfg.Registry
+	reg.Counter("server.requests").Add(1)
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	sp := reg.StartSpan("server.plan")
+	defer sp.End()
+	start := time.Now()
+
+	var req looppart.PlanRequest
+	if !s.decode(w, r, &req) {
+		reg.Counter("server.errors").Add(1)
+		return
+	}
+
+	if r.URL.Query().Get("explain") == "1" {
+		s.handleExplain(w, r, req)
+		return
+	}
+
+	resp, err := s.plan(r.Context(), req)
+	if err != nil {
+		reg.Counter("server.errors").Add(1)
+		writeError(w, planStatus(err), err.Error())
+		return
+	}
+	reg.Histogram("server.plan.latency").Observe(time.Since(start))
+	s.publishCacheGauges()
+	sp.SetArg("key", resp.Key)
+	sp.SetArg("cache", resp.Status)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Plancache", resp.Status)
+	w.Write(resp.Raw)
+}
+
+// explainResponse wraps a plan result with its decision trace.
+type explainResponse struct {
+	Result json.RawMessage `json:"result"`
+	Trace  string          `json:"trace"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, req looppart.PlanRequest) {
+	reg := s.cfg.Registry
+	// Exclusive: no other planning may emit into the private trace
+	// registry Service.Explain installs.
+	s.explainMu.Lock()
+	resp, trace, err := s.cfg.Service.Explain(req)
+	s.explainMu.Unlock()
+	if err != nil {
+		reg.Counter("server.errors").Add(1)
+		writeError(w, planStatus(err), err.Error())
+		return
+	}
+	reg.Counter("server.explains").Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Plancache", resp.Status)
+	json.NewEncoder(w).Encode(explainResponse{Result: resp.Raw, Trace: trace})
+}
+
+// batchRequest and batchResponse frame /v1/plan/batch.
+type batchRequest struct {
+	Requests []looppart.PlanRequest `json:"requests"`
+}
+
+type batchItem struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Cache  string          `json:"cache,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Responses []batchItem `json:"responses"`
+}
+
+// maxBatchItems bounds one batch so a single request cannot monopolize
+// the planner.
+const maxBatchItems = 256
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	reg := s.cfg.Registry
+	reg.Counter("server.requests").Add(1)
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	sp := reg.StartSpan("server.plan.batch")
+	defer sp.End()
+	start := time.Now()
+
+	var batch batchRequest
+	if !s.decode(w, r, &batch) {
+		reg.Counter("server.errors").Add(1)
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(batch.Requests) > maxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds the %d-item limit", len(batch.Requests), maxBatchItems))
+		return
+	}
+
+	// Items run concurrently; duplicates inside one batch collapse onto a
+	// single search through the service's singleflight group.
+	items := make([]batchItem, len(batch.Requests))
+	var wg sync.WaitGroup
+	wg.Add(len(batch.Requests))
+	for i, req := range batch.Requests {
+		go func(i int, req looppart.PlanRequest) {
+			defer wg.Done()
+			resp, err := s.plan(r.Context(), req)
+			if err != nil {
+				items[i] = batchItem{Error: err.Error()}
+				return
+			}
+			items[i] = batchItem{Result: resp.Raw, Cache: resp.Status}
+		}(i, req)
+	}
+	wg.Wait()
+	reg.Histogram("server.plan.batch.latency").Observe(time.Since(start))
+	s.publishCacheGauges()
+	sp.SetArg("items", len(batch.Requests))
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(batchResponse{Responses: items})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.publishCacheGauges()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.cfg.Registry.WriteMetricsText(w); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// publishCacheGauges mirrors the service and cache counters into the
+// registry so /metrics exposes them.
+func (s *Server) publishCacheGauges() {
+	reg := s.cfg.Registry
+	if reg == nil {
+		return
+	}
+	st := s.cfg.Service.Stats()
+	reg.Gauge("plancache.entries").Set(float64(st.Cache.Entries))
+	reg.Gauge("plancache.bytes").Set(float64(st.Cache.Bytes))
+	reg.Gauge("plancache.hit_ratio").Set(st.Cache.HitRatio())
+	reg.Gauge("service.searches").Set(float64(st.Searches))
+	reg.Gauge("service.cache_hits").Set(float64(st.CacheHits))
+}

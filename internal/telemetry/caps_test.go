@@ -1,0 +1,39 @@
+package telemetry
+
+import "testing"
+
+func TestRecordCapsBoundSpansAndEvents(t *testing.T) {
+	r := New()
+	r.SetRecordCaps(2, 3)
+	for i := 0; i < 5; i++ {
+		r.StartSpan("s").End()
+		r.Emit("k", "n", nil)
+	}
+	if n := len(r.Spans()); n != 2 {
+		t.Errorf("spans = %d, want 2", n)
+	}
+	if n := len(r.Events()); n != 3 {
+		t.Errorf("events = %d, want 3", n)
+	}
+	ds, de := r.DroppedRecords()
+	if ds != 3 || de != 2 {
+		t.Errorf("dropped = %d spans, %d events; want 3, 2", ds, de)
+	}
+	snap := r.Snapshot()
+	if snap.Counters["telemetry.dropped_spans"] != 3 || snap.Counters["telemetry.dropped_events"] != 2 {
+		t.Errorf("snapshot drop counters = %v", snap.Counters)
+	}
+}
+
+func TestRecordCapsZeroMeansUnbounded(t *testing.T) {
+	r := New()
+	for i := 0; i < 100; i++ {
+		r.Emit("k", "n", nil)
+	}
+	if n := len(r.Events()); n != 100 {
+		t.Errorf("events = %d, want 100", n)
+	}
+	if _, de := r.DroppedRecords(); de != 0 {
+		t.Errorf("dropped events = %d", de)
+	}
+}

@@ -69,6 +69,11 @@ func (r *Registry) RecordSpan(sp Span) {
 		return
 	}
 	r.mu.Lock()
+	if r.spanCap > 0 && len(r.spans) >= r.spanCap {
+		r.mu.Unlock()
+		r.droppedSpans.Add(1)
+		return
+	}
 	r.spans = append(r.spans, sp)
 	r.mu.Unlock()
 }
@@ -101,6 +106,11 @@ func (r *Registry) Emit(kind, name string, fields map[string]any) {
 	}
 	ev := Event{Time: r.since(), Kind: kind, Name: name, Fields: fields}
 	r.mu.Lock()
+	if r.eventCap > 0 && len(r.events) >= r.eventCap {
+		r.mu.Unlock()
+		r.droppedEvents.Add(1)
+		return
+	}
 	r.events = append(r.events, ev)
 	r.mu.Unlock()
 }

@@ -52,6 +52,13 @@ func Enabled() bool { return active.Load() != nil }
 type Registry struct {
 	start time.Time
 
+	// spanCap/eventCap bound the recorded spans/events (0 = unbounded);
+	// see SetRecordCaps. Overflow drops the new record and counts it.
+	spanCap       int
+	eventCap      int
+	droppedSpans  atomic.Int64
+	droppedEvents atomic.Int64
+
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -72,6 +79,31 @@ func New() *Registry {
 
 // since returns the registry-relative timestamp.
 func (r *Registry) since() time.Duration { return time.Since(r.start) }
+
+// SetRecordCaps bounds the span and event buffers, for registries that
+// live as long as a serving process rather than one CLI run (counters,
+// gauges, and histograms aggregate in place and need no cap). A cap of 0
+// leaves that buffer unbounded. Once a buffer is full, later records are
+// dropped and counted; the drop totals surface in Snapshot as
+// telemetry.dropped_spans / telemetry.dropped_events.
+func (r *Registry) SetRecordCaps(spans, events int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spanCap = spans
+	r.eventCap = events
+	r.mu.Unlock()
+}
+
+// DroppedRecords returns how many spans and events were dropped at the
+// record caps.
+func (r *Registry) DroppedRecords() (spans, events int64) {
+	if r == nil {
+		return 0, 0
+	}
+	return r.droppedSpans.Load(), r.droppedEvents.Load()
+}
 
 // Counter returns the named counter, creating it on first use. Returns nil
 // on a nil registry; (*Counter)(nil).Add is a no-op.
@@ -242,6 +274,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if r == nil {
 		return s
+	}
+	if n := r.droppedSpans.Load(); n > 0 {
+		s.Counters["telemetry.dropped_spans"] = n
+	}
+	if n := r.droppedEvents.Load(); n > 0 {
+		s.Counters["telemetry.dropped_events"] = n
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Regenerate BENCH_PARTITION.json: run the search-layer and simulator
-# benchmarks and merge them against the recorded pre-optimization baseline
-# (scripts/.bench_baseline_raw.txt, captured at the commit before the
-# parallel/pruned search engine and cachesim interning landed).
+# Regenerate BENCH_PARTITION.json: run the search-layer, simulator, and
+# serving-layer benchmarks and merge them against the recorded
+# pre-optimization baseline (scripts/.bench_baseline_raw.txt, captured at
+# the commit before the parallel/pruned search engine and cachesim
+# interning landed). The Serve* rows are current-only: the serving layer
+# postdates the baseline.
 #
 #   scripts/bench.sh                  # full run, rewrites BENCH_PARTITION.json
 #   OUT=/tmp/b.json scripts/bench.sh  # write elsewhere (verify smoke)
@@ -15,7 +17,7 @@ BENCHTIME="${BENCHTIME:-1s}"
 RAW=$(mktemp /tmp/looppart-benchraw.XXXXXX)
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkRectSearch|BenchmarkSkewSearch|BenchmarkCachesimReplay' \
+go test -run '^$' -bench 'BenchmarkRectSearch|BenchmarkSkewSearch|BenchmarkCachesimReplay|BenchmarkServePlanMiss|BenchmarkServePlanHit|BenchmarkServeBatch' \
 	-benchmem -benchtime "$BENCHTIME" . > "$RAW"
 cat "$RAW"
 

@@ -67,7 +67,7 @@ func main() {
 	}
 
 	rep := &Report{
-		Note:       "Search & simulator benchmarks (bench_test.go). baseline: before the parallel/pruned search engine and cachesim interning; current: working tree. Regenerate with scripts/bench.sh.",
+		Note:       "Search, simulator & serving benchmarks (bench_test.go). baseline: before the parallel/pruned search engine and cachesim interning; current: working tree. Serve* rows are current-only (the looppartd serving layer postdates the baseline). Regenerate with scripts/bench.sh.",
 		Benchmarks: map[string]*Entry{},
 	}
 	if *baseline != "" {
@@ -231,6 +231,21 @@ func validateReport(path string) error {
 		want := e.Baseline.NsOp / e.Current.NsOp
 		if e.Speedup < want*0.9 || e.Speedup > want*1.1 {
 			return fmt.Errorf("%s: %s speedup %.2f inconsistent with columns (%.2f)", path, name, e.Speedup, want)
+		}
+	}
+	// The serving-layer rows postdate the recorded baseline, so only a
+	// current column is required.
+	servingRequired := []string{"ServePlanMiss", "ServePlanHit", "ServeBatch"}
+	for _, name := range servingRequired {
+		e := rep.Benchmarks[name]
+		if e == nil {
+			return fmt.Errorf("%s: missing serving benchmark %q", path, name)
+		}
+		if e.Current == nil {
+			return fmt.Errorf("%s: %s lacks a current row", path, name)
+		}
+		if e.Current.NsOp <= 0 || e.Current.AllocsOp < 0 || e.Current.BytesOp < 0 {
+			return fmt.Errorf("%s: %s current row has non-positive measurements: %+v", path, name, *e.Current)
 		}
 	}
 	return nil

@@ -20,6 +20,11 @@ go test -race -count=1 \
 	-run 'TestSearchDeterministicAcrossPoolSizes|TestPruningDoesNotChangePlan' \
 	./internal/partition
 
+echo '== race: serving layer (singleflight, shedding, graceful shutdown) =='
+go test -race -count=1 \
+	-run 'TestServerSingleflightConcurrentIdentical|TestServerShedsLoad|TestServerGracefulShutdownDrains' \
+	./internal/server
+
 echo '== bench smoke: BENCH_PARTITION.json stays well-formed =='
 # A short re-run (10 iterations/benchmark) through the same pipeline that
 # produced the checked-in record; the checked-in file itself must also
@@ -40,5 +45,53 @@ go run ./cmd/looppart -procs 16 -trace "$trace" -metrics "$metrics" example8 >/d
 # The trace must be a JSON array of Chrome trace events (ph/ts fields);
 # the metrics dump must be a JSON object with a counters section.
 go run ./scripts/checktrace "$trace" "$metrics"
+
+echo '== smoke: looppart reads a nest from stdin =='
+printf 'doall (i, 1, 16)\n A[i] = A[i] + 1\nenddoall\n' \
+	| go run ./cmd/looppart -procs 4 - >/dev/null
+
+echo '== smoke: looppartd serves, caches, and drains =='
+smokedir=$(mktemp -d /tmp/looppartd-smoke.XXXXXX)
+daemon_pid=
+cleanup() {
+	rm -f "$trace" "$metrics"
+	[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+	rm -rf "$smokedir"
+	return 0
+}
+trap cleanup EXIT
+
+go build -o "$smokedir/looppartd" ./cmd/looppartd
+"$smokedir/looppartd" -addr 127.0.0.1:0 -portfile "$smokedir/port" \
+	>"$smokedir/daemon.log" &
+daemon_pid=$!
+i=0
+while [ ! -s "$smokedir/port" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo 'verify: looppartd never wrote its portfile' >&2
+		cat "$smokedir/daemon.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr=$(cat "$smokedir/port")
+
+req='{"source":"doall (i, 1, 64)\n A[i] = B[i+1]\nenddoall","procs":8,"strategy":"rect"}'
+curl -sf -D "$smokedir/hdr1" -o "$smokedir/resp1" \
+	-H 'Content-Type: application/json' --data "$req" "http://$addr/v1/plan"
+curl -sf -D "$smokedir/hdr2" -o "$smokedir/resp2" \
+	-H 'Content-Type: application/json' --data "$req" "http://$addr/v1/plan"
+grep -qi '^x-plancache: miss' "$smokedir/hdr1"
+grep -qi '^x-plancache: hit' "$smokedir/hdr2"
+# A hit must be byte-identical to the miss that filled the cache.
+cmp "$smokedir/resp1" "$smokedir/resp2"
+curl -sf "http://$addr/healthz" | grep -q '"status":"ok"'
+curl -sf "http://$addr/metrics" | grep -q '^plancache_hits 1'
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=
+grep -q 'served 2 requests (1 searches, 1 cache hits)' "$smokedir/daemon.log"
 
 echo 'verify: OK'

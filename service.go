@@ -1,0 +1,298 @@
+package looppart
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"looppart/internal/plancache"
+	"looppart/internal/telemetry"
+)
+
+// ParseStrategy maps a strategy name (the CLI and HTTP spelling) to its
+// Strategy value.
+func ParseStrategy(name string) (Strategy, bool) {
+	for _, s := range []Strategy{Auto, Rect, Skewed, CommFree, Rows, Columns, Blocks, AbrahamHudak} {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// CanonicalKey returns the plan-cache key for partitioning the program on
+// procs processors with the given strategy. The key is derived from the
+// canonicalized nest (renamed indices, sorted references, resolved
+// parameters), so the same nest modulo whitespace, index naming, and
+// reference order maps to the same key.
+func CanonicalKey(prog *Program, procs int, strategy Strategy) string {
+	return plancache.Key(prog.Nest, procs, strategy.String())
+}
+
+// PlanRequest is one planning question: a loop source, its parameter
+// bindings, the processor count, and the strategy name ("" = auto).
+type PlanRequest struct {
+	Source   string           `json:"source"`
+	Params   map[string]int64 `json:"params,omitempty"`
+	Procs    int              `json:"procs"`
+	Strategy string           `json:"strategy,omitempty"`
+}
+
+// PlanResult is the served answer. It is what the cache stores (as
+// canonical JSON), so a cache hit is bit-identical to the miss that
+// filled it.
+type PlanResult struct {
+	// Key is the canonical cache key the request mapped to.
+	Key string `json:"key"`
+	// Strategy is the requested strategy; Resolved is the one the plan
+	// actually uses (Auto resolves to comm-free or rect).
+	Strategy string `json:"strategy"`
+	Resolved string `json:"resolved"`
+	Procs    int    `json:"procs"`
+
+	// Kind is "tile" or "slab". Tile plans carry the extents (rectangular)
+	// or the full L matrix rows (skewed); slab plans carry the hyperplane.
+	Kind         string    `json:"kind"`
+	TileExtents  []int64   `json:"tile_extents,omitempty"`
+	TileMatrix   [][]int64 `json:"tile_matrix,omitempty"`
+	SlabNormal   []int64   `json:"slab_normal,omitempty"`
+	SlabWidth    int64     `json:"slab_width,omitempty"`
+	SlabCommFree bool      `json:"slab_comm_free,omitempty"`
+
+	PredictedFootprint float64 `json:"predicted_footprint,omitempty"`
+	PredictedTraffic   float64 `json:"predicted_traffic,omitempty"`
+
+	// Rendered is plan.String() — byte-identical to the partition line
+	// cmd/looppart prints for the same nest/procs/strategy.
+	Rendered string `json:"rendered"`
+}
+
+// PlanResponse pairs the decoded result with its canonical encoding and
+// how it was served.
+type PlanResponse struct {
+	Key string
+	// Status is "miss" (this request ran the search), "hit" (served from
+	// the cache), or "dedup" (joined a search another request started).
+	Status string
+	// Raw is the canonical JSON encoding of the PlanResult; identical
+	// bytes whether the request hit or missed.
+	Raw []byte
+	// Result is the decoded result (shares no state with the cache).
+	Result *PlanResult
+}
+
+// Hit reports whether the response was served without running a search.
+func (r *PlanResponse) Hit() bool { return r.Status != "miss" }
+
+// ServiceOptions configures a Service.
+type ServiceOptions struct {
+	// CacheBytes bounds the plan cache (plancache.DefaultMaxBytes when 0).
+	CacheBytes int64
+}
+
+// Service is the embeddable planning facade behind cmd/looppartd: it
+// answers PlanRequests through a canonicalized plan cache with
+// singleflight deduplication, so repeated and concurrent requests for the
+// same nest cost one search. A Service is safe for concurrent use.
+type Service struct {
+	cache *plancache.Cache
+	group plancache.Group
+
+	requests  atomic.Int64
+	searches  atomic.Int64
+	cacheHits atomic.Int64 // memory hits + singleflight joins
+	errors    atomic.Int64
+}
+
+// NewService returns a ready Service.
+func NewService(opts ServiceOptions) *Service {
+	return &Service{cache: plancache.NewCache(opts.CacheBytes)}
+}
+
+// ServiceStats is a point-in-time view of the service counters.
+type ServiceStats struct {
+	Requests int64 `json:"requests"`
+	// Searches counts partition searches actually executed.
+	Searches int64 `json:"searches"`
+	// CacheHits counts requests served without a search of their own:
+	// plan-cache hits plus singleflight joins.
+	CacheHits int64           `json:"cache_hits"`
+	Errors    int64           `json:"errors"`
+	Cache     plancache.Stats `json:"cache"`
+}
+
+// Stats returns the current counters.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Requests:  s.requests.Load(),
+		Searches:  s.searches.Load(),
+		CacheHits: s.cacheHits.Load(),
+		Errors:    s.errors.Load(),
+		Cache:     s.cache.Stats(),
+	}
+}
+
+// CacheStats returns the plan-cache counters.
+func (s *Service) CacheStats() plancache.Stats { return s.cache.Stats() }
+
+// Plan answers req, serving from the cache when possible. ctx bounds only
+// this caller's wait: an in-flight search continues after ctx expires and
+// still fills the cache. Errors are not cached.
+func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
+	s.requests.Add(1)
+	reg := telemetry.Active()
+	reg.Counter("service.plan.requests").Add(1)
+
+	prog, procs, strategy, err := s.prepare(req)
+	if err != nil {
+		s.errors.Add(1)
+		reg.Counter("service.plan.errors").Add(1)
+		return nil, err
+	}
+	key := CanonicalKey(prog, procs, strategy)
+
+	if raw, ok := s.cache.Get(key); ok {
+		s.cacheHits.Add(1)
+		reg.Counter("service.plan.cache_hit").Add(1)
+		return response(key, "hit", raw)
+	}
+
+	raw, shared, err := s.group.Do(ctx, key, func() ([]byte, error) {
+		s.searches.Add(1)
+		reg.Counter("service.plan.search").Add(1)
+		raw, err := s.search(prog, key, procs, req.Strategy, strategy)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, raw)
+		return raw, nil
+	})
+	if err != nil {
+		s.errors.Add(1)
+		reg.Counter("service.plan.errors").Add(1)
+		return nil, err
+	}
+	status := "miss"
+	if shared {
+		// Joining a flight is a logical cache hit: the plan this request
+		// needed was already being produced.
+		status = "dedup"
+		s.cacheHits.Add(1)
+		reg.Counter("service.plan.cache_hit").Add(1)
+	}
+	return response(key, status, raw)
+}
+
+// Explain answers req with a fresh, uncached pipeline run and returns the
+// decision trace alongside the result. It temporarily installs a private
+// telemetry registry to collect the trace, so the caller must guarantee
+// no concurrent planning (cmd/looppartd serializes explain requests
+// behind a write lock). The computed plan still fills the cache, with
+// bytes identical to the normal path.
+func (s *Service) Explain(req PlanRequest) (*PlanResponse, string, error) {
+	s.requests.Add(1)
+	reg := telemetry.New()
+	prev := telemetry.SetActive(reg)
+	defer telemetry.SetActive(prev)
+
+	prog, procs, strategy, err := s.prepare(req)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, "", err
+	}
+	key := CanonicalKey(prog, procs, strategy)
+	s.searches.Add(1)
+	raw, err := s.search(prog, key, procs, req.Strategy, strategy)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, "", err
+	}
+	s.cache.Put(key, raw)
+	resp, err := response(key, "bypass", raw)
+	if err != nil {
+		return nil, "", err
+	}
+	return resp, reg.FormatDecisionTrace(), nil
+}
+
+// prepare validates and parses the request.
+func (s *Service) prepare(req PlanRequest) (*Program, int, Strategy, error) {
+	if req.Procs < 1 {
+		return nil, 0, 0, fmt.Errorf("looppart: procs must be >= 1 (got %d)", req.Procs)
+	}
+	name := req.Strategy
+	if name == "" {
+		name = Auto.String()
+	}
+	strategy, ok := ParseStrategy(name)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("looppart: unknown strategy %q", req.Strategy)
+	}
+	prog, err := Parse(req.Source, req.Params)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return prog, req.Procs, strategy, nil
+}
+
+// search runs the partition search and encodes the result canonically.
+func (s *Service) search(prog *Program, key string, procs int, requested string, strategy Strategy) ([]byte, error) {
+	if requested == "" {
+		requested = strategy.String()
+	}
+	plan, err := prog.Partition(procs, strategy)
+	if err != nil {
+		return nil, err
+	}
+	res := &PlanResult{
+		Key:                key,
+		Strategy:           requested,
+		Resolved:           plan.Strategy.String(),
+		Procs:              procs,
+		PredictedFootprint: plan.PredictedFootprint,
+		PredictedTraffic:   plan.PredictedTraffic,
+		Rendered:           plan.String(),
+	}
+	switch {
+	case plan.Slab != nil:
+		res.Kind = "slab"
+		res.SlabNormal = plan.Slab.Normal
+		res.SlabWidth = plan.Slab.Width
+		res.SlabCommFree = plan.Slab.CommFree
+	case plan.Tile != nil:
+		res.Kind = "tile"
+		if plan.Tile.IsRect() {
+			res.TileExtents = plan.Tile.Extents()
+		} else {
+			l := plan.Tile.L
+			res.TileMatrix = make([][]int64, l.Rows())
+			for i := range res.TileMatrix {
+				row := make([]int64, l.Cols())
+				for j := range row {
+					row[j] = l.At(i, j)
+				}
+				res.TileMatrix[i] = row
+			}
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(res); err != nil {
+		return nil, err
+	}
+	// Drop Encode's trailing newline so the stored value is exactly the
+	// JSON object; transports add their own framing.
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// response decodes raw into a PlanResponse.
+func response(key, status string, raw []byte) (*PlanResponse, error) {
+	res := &PlanResult{}
+	if err := json.Unmarshal(raw, res); err != nil {
+		return nil, fmt.Errorf("looppart: corrupt cached plan for %s: %v", key, err)
+	}
+	return &PlanResponse{Key: key, Status: status, Raw: raw, Result: res}, nil
+}
