@@ -15,6 +15,12 @@
 //	-timeout D         per-request planning deadline (default 10s)
 //	-max-body N        request body limit in bytes (default 1 MiB)
 //	-cache-mb N        plan-cache budget in MiB (default 64)
+//	-store DIR         persistent tuned-plan store: warm-starts the cache
+//	                   at boot and absorbs every served plan
+//	-calibrate MODE    cost constants for autotuning: model (paper
+//	                   defaults) or sim (fit by microbenchmark)
+//	-autotune K        serve measured tournament winners over the top-K
+//	                   analytic candidates (0 = pure analytic planning)
 //	-span-cap N        retained telemetry spans (default 4096)
 //	-event-cap N       retained decision events (default 16384)
 //	-trace FILE        write a Chrome trace on shutdown
@@ -57,6 +63,7 @@ import (
 	"time"
 
 	"looppart"
+	"looppart/internal/autotune"
 	"looppart/internal/cliflag"
 	"looppart/internal/paperex"
 	"looppart/internal/server"
@@ -97,6 +104,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request planning deadline")
 	maxBody := fs.Int64("max-body", 1<<20, "request body limit in bytes")
 	cacheMB := fs.Int64("cache-mb", 64, "plan-cache budget in MiB")
+	storeDir := fs.String("store", "", "persistent tuned-plan store directory (empty = memory only)")
+	calibrate := fs.String("calibrate", "model", "cost constants: model (paper defaults) or sim (fit by microbenchmark)")
+	autotuneK := fs.Int("autotune", 0, "serve tournament winners over the top-K analytic candidates (0 = analytic)")
 	spanCap := fs.Int("span-cap", 4096, "retained telemetry spans (0 = unbounded)")
 	eventCap := fs.Int("event-cap", 16384, "retained decision events (0 = unbounded)")
 	loadgen := fs.Bool("loadgen", false, "drive load at a running daemon instead of serving")
@@ -137,7 +147,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	prev := telemetry.SetActive(reg)
 	defer telemetry.SetActive(prev)
 
-	svc := looppart.NewService(looppart.ServiceOptions{CacheBytes: *cacheMB << 20})
+	var fp autotune.Fingerprint
+	switch *calibrate {
+	case "model", "":
+		fp = autotune.ModelFingerprint()
+	case "sim":
+		if fp, err = autotune.Calibrate(autotune.CalibrateOptions{}); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -calibrate mode %q (want model or sim)", *calibrate)
+	}
+	svcOpts := looppart.ServiceOptions{
+		CacheBytes:  *cacheMB << 20,
+		AutotuneK:   *autotuneK,
+		Fingerprint: fp,
+	}
+	if *storeDir != "" {
+		if svcOpts.Store, err = autotune.OpenStore(*storeDir, fp); err != nil {
+			return err
+		}
+	}
+	svc := looppart.NewService(svcOpts)
+	if svcOpts.Store != nil {
+		st := svc.Stats()
+		fmt.Fprintf(out, "looppartd: store %s (%s): %d plans warm-loaded\n",
+			*storeDir, fp.ID(), st.WarmLoaded)
+	}
+	if *autotuneK > 0 {
+		fmt.Fprintf(out, "looppartd: autotune on: top-%d tournaments under %s\n", *autotuneK, fp.ID())
+	}
 	srv := server.New(server.Config{
 		Service:      svc,
 		Registry:     reg,

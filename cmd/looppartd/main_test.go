@@ -183,3 +183,80 @@ func TestLoadgenValidation(t *testing.T) {
 		t.Error("serve mode with a positional argument accepted")
 	}
 }
+
+// TestDaemonStoreSurvivesRestart is the persistence acceptance criterion
+// at the daemon level: a daemon restarted against a populated -store
+// serves its first repeat request as a byte-identical hit without
+// re-running the search.
+func TestDaemonStoreSurvivesRestart(t *testing.T) {
+	storeDir := t.TempDir()
+	body, _ := json.Marshal(looppart.PlanRequest{
+		Source: "doall (i, 1, 64)\n A[i] = B[i+1]\nenddoall", Procs: 8, Strategy: "rect",
+	})
+	post := func(url string) (string, []byte) {
+		resp, err := http.Post(url+"/v1/plan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d (%s)", resp.StatusCode, data)
+		}
+		return resp.Header.Get("X-Plancache"), data
+	}
+
+	url1, stop1 := startDaemon(t, "-store", storeDir)
+	status1, payload1 := post(url1)
+	if status1 != "miss" {
+		t.Fatalf("cold daemon served %q, want miss", status1)
+	}
+	if out, err := stop1(); err != nil {
+		t.Fatalf("first daemon exit: %v (%s)", err, out)
+	}
+
+	url2, stop2 := startDaemon(t, "-store", storeDir)
+	defer stop2()
+	status2, payload2 := post(url2)
+	if status2 != "hit" {
+		t.Errorf("restarted daemon served %q, want hit (no re-search)", status2)
+	}
+	if !bytes.Equal(payload1, payload2) {
+		t.Errorf("restarted response differs:\n%s\nvs\n%s", payload1, payload2)
+	}
+}
+
+// The -autotune and -calibrate flags switch the daemon to measured
+// tournaments; served plans carry the autotuned marker.
+func TestDaemonAutotuneMode(t *testing.T) {
+	url, stop := startDaemon(t, "-autotune", "3", "-calibrate", "sim")
+	defer stop()
+
+	body, _ := json.Marshal(looppart.PlanRequest{
+		Source: "doall (i, 1, 32)\n doall (j, 1, 32)\n  A[i,j] = B[i,j] + B[i+1,j+3]\n enddoall\nenddoall",
+		Procs:  8, Strategy: "rect",
+	})
+	resp, err := http.Post(url+"/v1/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (%s)", resp.StatusCode, data)
+	}
+	var res looppart.PlanResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Autotuned || res.MeasuredMisses <= 0 {
+		t.Errorf("autotuned daemon served %+v, want autotuned with measured misses", res)
+	}
+}
+
+func TestDaemonRejectsBadCalibrateMode(t *testing.T) {
+	err := run(context.Background(), []string{"-calibrate", "guesswork"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "calibrate") {
+		t.Errorf("bad -calibrate mode: %v", err)
+	}
+}

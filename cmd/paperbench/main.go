@@ -7,11 +7,14 @@
 //	paperbench [flags] [-id EID]
 //
 // With -id, only the named experiment (e.g. E8) runs; an unknown id lists
-// the known experiments and exits non-zero.
+// the known experiments and exits non-zero. `-id -` reads a whitespace-
+// separated list of experiment ids from stdin, so a selection pipes in:
+//
+//	echo E1 E8 E21 | paperbench -id -
 //
 // Flags:
 //
-//	-id EID        run only this experiment
+//	-id EID        run only this experiment (- = read ids from stdin)
 //	-trace FILE    write a Chrome trace-event JSON file of the run
 //	-metrics FILE  write a metrics dump (.json = JSON, else text)
 //	-pprof ADDR    serve net/http/pprof on ADDR (e.g. :6060)
@@ -25,22 +28,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"looppart/internal/cliflag"
 	"looppart/internal/experiments"
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout)
+	code, err := run(os.Args[1:], os.Stdin, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "paperbench:", err)
 	}
 	os.Exit(code)
 }
 
-func run(args []string, out io.Writer) (int, error) {
+func run(args []string, in io.Reader, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
-	id := fs.String("id", "", "run only this experiment (E1..E21)")
+	id := fs.String("id", "", "run only this experiment (E1..E21), or - to read ids from stdin")
 	var obs cliflag.Obs
 	obs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -53,7 +57,17 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	var ids []string
-	if *id != "" {
+	switch {
+	case *id == "-":
+		data, err := io.ReadAll(in)
+		if err != nil {
+			return 2, err
+		}
+		ids = strings.Fields(string(data))
+		if len(ids) == 0 {
+			return 2, fmt.Errorf("-id -: no experiment ids on stdin")
+		}
+	case *id != "":
 		ids = []string{*id}
 	}
 	results, err := experiments.RunAll(ids, reg)

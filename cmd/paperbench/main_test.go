@@ -9,7 +9,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var b strings.Builder
-	code, err := run([]string{"-id", "E1"}, &b)
+	code, err := run([]string{"-id", "E1"}, nil, &b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +23,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunUnknownIDListsExperiments(t *testing.T) {
 	var b strings.Builder
-	code, err := run([]string{"-id", "E99"}, &b)
+	code, err := run([]string{"-id", "E99"}, nil, &b)
 	if code == 0 {
 		t.Fatalf("unknown -id accepted (exit 0)")
 	}
@@ -42,7 +42,7 @@ func TestRunWithTelemetryExports(t *testing.T) {
 	trace := filepath.Join(dir, "trace.json")
 	metrics := filepath.Join(dir, "metrics.json")
 	var b strings.Builder
-	code, err := run([]string{"-id", "E8", "-trace", trace, "-metrics", metrics}, &b)
+	code, err := run([]string{"-id", "E8", "-trace", trace, "-metrics", metrics}, nil, &b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,5 +60,33 @@ func TestRunWithTelemetryExports(t *testing.T) {
 		if len(data) == 0 {
 			t.Errorf("%s is empty", path)
 		}
+	}
+}
+
+func TestRunIDsFromStdin(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"-id", "-"}, strings.NewReader("E1 E8\nE21\n"), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	out := b.String()
+	for _, want := range []string{"E1", "E8", "E21"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %s:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "E2 ") {
+		t.Errorf("unselected experiment ran:\n%s", out)
+	}
+}
+
+func TestRunIDsFromStdinEmpty(t *testing.T) {
+	var b strings.Builder
+	code, err := run([]string{"-id", "-"}, strings.NewReader("  \n"), &b)
+	if code == 0 || err == nil {
+		t.Fatalf("empty stdin accepted (code %d, err %v)", code, err)
 	}
 }

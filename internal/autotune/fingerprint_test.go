@@ -1,0 +1,104 @@
+package autotune
+
+import (
+	"strings"
+	"testing"
+
+	"looppart/internal/cachesim"
+	"looppart/internal/machine"
+)
+
+// The simulator-fit calibration must recover exactly the constants the
+// simulator charges — that the fit reproduces DefaultConfig and
+// DefaultCostModel is the correctness statement: nothing was copied, the
+// probes measured it.
+func TestCalibrateRecoversSimulatorConstants(t *testing.T) {
+	fp, err := Calibrate(CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cachesim.DefaultConfig(1)
+	cost := machine.DefaultCostModel()
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"hit", fp.HitCost, cfg.CostCacheHit},
+		{"miss", fp.MissCost, cfg.CostMemory},
+		{"atomic", fp.AtomicCost, cfg.CostAtomic},
+		{"local", fp.LocalMem, cost.LocalMem},
+		{"remote", fp.RemoteBase, cost.RemoteBase},
+		{"perhop", fp.PerHop, cost.PerHop},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("calibrated %s = %g, want %g", c.name, c.got, c.want)
+		}
+	}
+	if fp.LineElems != 1 {
+		t.Errorf("LineElems = %d, want 1 (simulator coheres per datum)", fp.LineElems)
+	}
+	if fp.Source != "sim" {
+		t.Errorf("Source = %q, want sim", fp.Source)
+	}
+	if fp.Schema != FingerprintSchema {
+		t.Errorf("Schema = %d, want %d", fp.Schema, FingerprintSchema)
+	}
+}
+
+func TestCalibrateDeterministic(t *testing.T) {
+	a, err := Calibrate(CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate(CalibrateOptions{Probes: 64, Mesh: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != b.ID() {
+		t.Errorf("calibration IDs differ across probe sizes: %s vs %s", a.ID(), b.ID())
+	}
+}
+
+// A calibration that confirms the model's constants must land in the
+// model fingerprint's store namespace: Source/Host are provenance, not
+// identity.
+func TestFingerprintIDIgnoresProvenance(t *testing.T) {
+	model := ModelFingerprint()
+	sim, err := Calibrate(CalibrateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.ID() != sim.ID() {
+		t.Errorf("model ID %s != sim-calibrated ID %s despite identical constants", model.ID(), sim.ID())
+	}
+
+	changed := model
+	changed.MissCost = 21
+	if changed.ID() == model.ID() {
+		t.Error("changing a constant did not change the ID")
+	}
+	schema := model
+	schema.Schema++
+	if schema.ID() == model.ID() {
+		t.Error("changing the schema did not change the ID")
+	}
+}
+
+func TestFingerprintSimConfig(t *testing.T) {
+	fp := ModelFingerprint()
+	fp.MissCost = 42
+	cfg := fp.SimConfig(8)
+	if cfg.Procs != 8 || cfg.CostMemory != 42 || cfg.CostCacheHit != fp.HitCost {
+		t.Errorf("SimConfig = %+v not derived from fingerprint", cfg)
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	s := ModelFingerprint().String()
+	for _, want := range []string{"fp", "source model", "miss=20", "local=15"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package autotune
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), ModelFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	if _, ok := s.Get("nest-a"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	val := []byte(`{"plan":"rect(3x4)"}`)
+	if err := s.Put("nest-a", val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("nest-a")
+	if !ok || string(got) != string(val) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, val)
+	}
+
+	// Overwrite is a replace, not a second entry.
+	val2 := []byte(`{"plan":"rect(2x6)"}`)
+	if err := s.Put("nest-a", val2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("nest-a")
+	if string(got) != string(val2) {
+		t.Fatalf("after overwrite Get = %q, want %q", got, val2)
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(dir, ModelFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("k", []byte(`"v"`)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir, ModelFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("k")
+	if !ok || string(got) != `"v"` {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+}
+
+func TestStoreQuarantinesCorruptEntries(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.Put("good", []byte(`"good"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("torn", []byte(`"torn"`)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second entry's bytes on disk (flip the payload without
+	// updating the sum) and write one unparseable file.
+	tornName := s.entryName("torn")
+	data, err := os.ReadFile(filepath.Join(s.dir, tornName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), `"torn"`, `"TORN"`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper had no effect")
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, tornName), []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, strings.Repeat("ab", 32)+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get("torn"); ok {
+		t.Error("tampered entry served")
+	}
+	var keys []string
+	if err := s.Each(func(k string, _ []byte) { keys = append(keys, k) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "good" {
+		t.Errorf("scan returned %v, want [good]", keys)
+	}
+	st := s.Stats()
+	if st.Quarantined < 2 {
+		t.Errorf("quarantined = %d, want >= 2 (tampered + unparseable)", st.Quarantined)
+	}
+	// The evidence is preserved, not deleted.
+	qfiles, err := os.ReadDir(filepath.Join(s.dir, quarantineDir))
+	if err != nil || len(qfiles) < 2 {
+		t.Errorf("quarantine dir has %d files (err %v), want >= 2", len(qfiles), err)
+	}
+	// Quarantine is sticky: the corrupt entry no longer shadows the key.
+	if _, ok := s.Get("torn"); ok {
+		t.Error("quarantined entry reappeared")
+	}
+}
+
+func TestStoreIsolatesFingerprints(t *testing.T) {
+	dir := t.TempDir()
+	model, err := OpenStore(dir, ModelFingerprint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := ModelFingerprint()
+	other.MissCost = 99
+	tuned, err := OpenStore(dir, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Put("k", []byte(`"model"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tuned.Put("k", []byte(`"tuned"`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := model.Get("k"); string(got) != `"model"` {
+		t.Errorf("model store sees %q", got)
+	}
+	if got, _ := tuned.Get("k"); string(got) != `"tuned"` {
+		t.Errorf("tuned store sees %q", got)
+	}
+	// Scans are disjoint and nothing is quarantined: a foreign entry is
+	// valid, just not ours.
+	n := 0
+	if err := model.Each(func(string, []byte) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("model scan saw %d entries, want 1", n)
+	}
+	if q := model.Stats().Quarantined; q != 0 {
+		t.Errorf("foreign entries quarantined: %d", q)
+	}
+}
+
+func TestStoreConcurrentPutGet(t *testing.T) {
+	s := openTestStore(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i%4))
+			val := []byte(`"v"`)
+			for j := 0; j < 20; j++ {
+				if err := s.Put(key, val); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := s.Get(key); ok && string(got) != `"v"` {
+					t.Errorf("torn read: %q", got)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Entries != 4 || st.Quarantined != 0 {
+		t.Errorf("stats after concurrent writes: %+v", st)
+	}
+}
+
+func TestStoreIgnoresTempFiles(t *testing.T) {
+	s := openTestStore(t)
+	// A crash mid-Put leaves a temp file; scans and gets must not see it.
+	if err := os.WriteFile(filepath.Join(s.dir, s.entryName("x")+".tmp123"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := s.Each(func(string, []byte) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("scan saw %d entries, want 0", n)
+	}
+	if st := s.Stats(); st.Quarantined != 0 {
+		t.Errorf("temp file quarantined: %+v", st)
+	}
+}

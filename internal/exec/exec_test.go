@@ -282,3 +282,53 @@ func BenchmarkSequentialExample2(b *testing.B) {
 		RunSequential(n, st)
 	}
 }
+
+// TestArrayHaloClampingBothEdges pins the halo contract on every edge of
+// every dimension: subscripts below Lo and above Hi read 0, and plain,
+// atomic-add, and atomic-update writes there are all dropped without
+// disturbing interior elements.
+func TestArrayHaloClampingBothEdges(t *testing.T) {
+	a, err := NewArray("A", []int64{1, -3}, []int64{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Fill(func(idx []int64) float64 { return 1 })
+
+	oob := [][]int64{
+		{0, 0},   // below Lo in dim 0
+		{5, 0},   // above Hi in dim 0
+		{2, -4},  // below Lo in dim 1
+		{2, 4},   // above Hi in dim 1
+		{0, -4},  // past both edges at once
+		{5, 4},   // past both edges at once
+		{-9, 99}, // far outside
+	}
+	for _, idx := range oob {
+		if got := a.At(idx); got != 0 {
+			t.Errorf("At(%v) = %v, want 0 (halo read)", idx, got)
+		}
+		a.Set(idx, 7)
+		a.AtomicAdd(idx, 7)
+		a.AtomicUpdate(idx, func(old float64) float64 { return old + 7 })
+		if got := a.At(idx); got != 0 {
+			t.Errorf("At(%v) = %v after halo writes, want 0 (dropped)", idx, got)
+		}
+	}
+	// No halo write leaked into the interior: every in-bounds element is
+	// still exactly what Fill put there.
+	for i := a.Lo[0]; i <= a.Hi[0]; i++ {
+		for j := a.Lo[1]; j <= a.Hi[1]; j++ {
+			if got := a.At([]int64{i, j}); got != 1 {
+				t.Fatalf("interior [%d,%d] = %v after halo writes, want 1", i, j, got)
+			}
+		}
+	}
+	// Wrong-rank subscripts are clamped the same way, not a panic.
+	if got := a.At([]int64{2}); got != 0 {
+		t.Errorf("rank-mismatched read = %v, want 0", got)
+	}
+	a.Set([]int64{2}, 7)
+	if got := a.At([]int64{2, 0}); got != 1 {
+		t.Errorf("rank-mismatched write leaked: %v", got)
+	}
+}

@@ -175,3 +175,43 @@ func BenchmarkHops(b *testing.B) {
 		_ = m.Hops(i%256, (i*7)%256)
 	}
 }
+
+// TestSquarishMeshPrimes: a prime node count has no nontrivial
+// factorization, so the best mesh is a 1×p (or p×1) chain.
+func TestSquarishMeshPrimes(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 7, 13, 31, 97} {
+		m, err := SquarishMesh(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Nodes() != p {
+			t.Errorf("SquarishMesh(%d) has %d nodes", p, m.Nodes())
+		}
+		if min(m.W, m.H) != 1 {
+			t.Errorf("SquarishMesh(%d) = %dx%d, want a 1-wide chain", p, m.W, m.H)
+		}
+		// A chain's diameter is p-1 hops.
+		if got := m.Hops(0, p-1); got != p-1 {
+			t.Errorf("SquarishMesh(%d).Hops(0,%d) = %d, want %d", p, p-1, got, p-1)
+		}
+	}
+}
+
+// TestSquarishMeshPerfectSquares: a perfect square must come out exactly
+// square — the factorization that minimizes the mesh diameter.
+func TestSquarishMeshPerfectSquares(t *testing.T) {
+	for _, r := range []int{1, 2, 3, 4, 7, 8, 10, 16} {
+		n := r * r
+		m, err := SquarishMesh(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.W != r || m.H != r {
+			t.Errorf("SquarishMesh(%d) = %dx%d, want %dx%d", n, m.W, m.H, r, r)
+		}
+		// Opposite corners are 2(r-1) hops apart.
+		if got := m.Hops(0, n-1); got != 2*(r-1) {
+			t.Errorf("SquarishMesh(%d).Hops(0,%d) = %d, want %d", n, n-1, got, 2*(r-1))
+		}
+	}
+}

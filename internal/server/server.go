@@ -6,6 +6,8 @@
 //	POST /v1/plan        {source, params, procs, strategy} → PlanResult
 //	                     (?explain=1 adds the decision trace)
 //	POST /v1/plan/batch  {requests: [...]} → {responses: [...]}
+//	POST /v1/autotune    {source, params, procs, strategy} → tournament
+//	                     result (predicted vs measured per candidate)
 //	GET  /healthz        liveness probe
 //	GET  /metrics        Prometheus-style text exposition of the registry
 //
@@ -93,6 +95,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("/v1/plan", s.handlePlan)
 	s.mux.HandleFunc("/v1/plan/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/autotune", s.handleAutotune)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -313,6 +316,51 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(batchResponse{Responses: items})
 }
 
+// handleAutotune runs a measured plan tournament on demand. Tournaments
+// replay every candidate through the simulator, so they are the most
+// expensive request the server takes — the same admission semaphore that
+// bounds planning bounds them, and the explain read-lock keeps their
+// telemetry out of private explain registries.
+func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	reg := s.cfg.Registry
+	reg.Counter("server.requests").Add(1)
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	sp := reg.StartSpan("server.autotune")
+	defer sp.End()
+	start := time.Now()
+
+	var req looppart.PlanRequest
+	if !s.decode(w, r, &req) {
+		reg.Counter("server.errors").Add(1)
+		return
+	}
+	if s.testPlanGate != nil {
+		s.testPlanGate()
+	}
+	s.explainMu.RLock()
+	res, err := s.cfg.Service.Tournament(req)
+	s.explainMu.RUnlock()
+	if err != nil {
+		reg.Counter("server.errors").Add(1)
+		writeError(w, planStatus(err), err.Error())
+		return
+	}
+	reg.Counter("server.autotunes").Add(1)
+	reg.Histogram("server.autotune.latency").Observe(time.Since(start))
+	s.publishCacheGauges()
+	sp.SetArg("winner", res.WinnerCandidate().TileDesc)
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
@@ -339,4 +387,11 @@ func (s *Server) publishCacheGauges() {
 	reg.Gauge("plancache.hit_ratio").Set(st.Cache.HitRatio())
 	reg.Gauge("service.searches").Set(float64(st.Searches))
 	reg.Gauge("service.cache_hits").Set(float64(st.CacheHits))
+	if st.Store != nil {
+		reg.Gauge("autotune.store.entries").Set(float64(st.Store.Entries))
+		reg.Gauge("autotune.store.get_hits").Set(float64(st.Store.GetHits))
+		reg.Gauge("autotune.store.quarantined_entries").Set(float64(st.Store.Quarantined))
+		reg.Gauge("service.store_hits").Set(float64(st.StoreHits))
+		reg.Gauge("service.warm_loaded").Set(float64(st.WarmLoaded))
+	}
 }

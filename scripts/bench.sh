@@ -6,20 +6,32 @@
 # interning landed). The Serve* rows are current-only: the serving layer
 # postdates the baseline.
 #
+# Before rewriting the record, the fresh run is guarded against the
+# checked-in BENCH_PARTITION.json: any benchmark that got more than 25%
+# slower (ns/op) fails the script non-zero, so a performance regression
+# cannot silently replace the record. GUARD=0 skips the guard (verify.sh's
+# BENCHTIME=10x smoke is deliberately short and noisy).
+#
 #   scripts/bench.sh                  # full run, rewrites BENCH_PARTITION.json
 #   OUT=/tmp/b.json scripts/bench.sh  # write elsewhere (verify smoke)
 #   BENCHTIME=10x scripts/bench.sh    # quicker, noisier
+#   GUARD=0 scripts/bench.sh          # skip the regression guard
 set -eu
 cd "$(dirname "$0")/.."
 
 OUT="${OUT:-BENCH_PARTITION.json}"
 BENCHTIME="${BENCHTIME:-1s}"
+GUARD="${GUARD:-1}"
 RAW=$(mktemp /tmp/looppart-benchraw.XXXXXX)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench 'BenchmarkRectSearch|BenchmarkSkewSearch|BenchmarkCachesimReplay|BenchmarkServePlanMiss|BenchmarkServePlanHit|BenchmarkServeBatch' \
 	-benchmem -benchtime "$BENCHTIME" . > "$RAW"
 cat "$RAW"
+
+if [ "$GUARD" != 0 ] && [ -f BENCH_PARTITION.json ]; then
+	go run ./scripts/benchjson -against BENCH_PARTITION.json -current "$RAW"
+fi
 
 go run ./scripts/benchjson \
 	-baseline scripts/.bench_baseline_raw.txt \

@@ -8,6 +8,13 @@
 //
 //	benchjson -baseline raw.txt -current raw.txt -out BENCH_PARTITION.json
 //	benchjson -validate BENCH_PARTITION.json
+//	benchjson -against BENCH_PARTITION.json -current raw.txt
+//
+// -against is the regression guard: every benchmark present in both the
+// fresh run and the recorded report must stay within -threshold percent
+// (default 25) of the recorded ns/op, or benchjson exits non-zero.
+// scripts/bench.sh runs it before overwriting the record (skip with
+// GUARD=0 for deliberately short, noisy runs).
 package main
 
 import (
@@ -51,8 +58,32 @@ func main() {
 	current := flag.String("current", "", "raw `go test -bench` output for the working tree")
 	out := flag.String("out", "", "write the merged JSON report here")
 	validate := flag.String("validate", "", "validate an existing report instead of building one")
+	against := flag.String("against", "", "guard: fail if -current regresses vs this recorded report")
+	threshold := flag.Float64("threshold", 25, "max tolerated ns/op regression for -against, in percent")
 	flag.Parse()
 
+	if *against != "" {
+		if *current == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -against needs -current")
+			os.Exit(2)
+		}
+		rows, _, err := parseBench(*current)
+		if err != nil {
+			fatal(err)
+		}
+		regressions, err := guardAgainst(*against, rows, *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+		}
+		if len(regressions) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: no >%g%% regressions vs %s\n", *threshold, *against)
+		return
+	}
 	if *validate != "" {
 		if err := validateReport(*validate); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -193,6 +224,47 @@ func parseBench(path string) (map[string]Row, string, error) {
 		return nil, "", fmt.Errorf("%s: no benchmark lines found", path)
 	}
 	return rows, cpu, nil
+}
+
+// guardAgainst compares a fresh run's rows with the recorded report's
+// current column and returns one message per benchmark whose ns/op grew
+// by more than threshold percent. Benchmarks only on one side are
+// ignored (rows come and go as the suite evolves); a fresh run that
+// shares no row with the record is an error, not a pass.
+func guardAgainst(recordPath string, rows map[string]Row, threshold float64) ([]string, error) {
+	buf, err := os.ReadFile(recordPath)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", recordPath, err)
+	}
+	var regressions []string
+	compared := 0
+	var names []string
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := rep.Benchmarks[name]
+		if e == nil || e.Current == nil || e.Current.NsOp <= 0 {
+			continue
+		}
+		compared++
+		got := rows[name].NsOp
+		limit := e.Current.NsOp * (1 + threshold/100)
+		if got > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs recorded %.0f (+%.0f%%, limit +%g%%)",
+				name, got, e.Current.NsOp, 100*(got/e.Current.NsOp-1), threshold))
+		}
+	}
+	if compared == 0 {
+		return nil, fmt.Errorf("%s: no benchmark overlaps the fresh run", recordPath)
+	}
+	return regressions, nil
 }
 
 // validateReport checks the checked-in record is well-formed: the search

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRecord(t *testing.T, rep *Report) string {
+	t.Helper()
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "record.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGuardAgainst(t *testing.T) {
+	record := writeRecord(t, &Report{Benchmarks: map[string]*Entry{
+		"RectSearch/P=16": {Current: &Row{NsOp: 1000}},
+		"CachesimReplay":  {Current: &Row{NsOp: 400}},
+		"Retired":         {Current: &Row{NsOp: 50}},
+	}})
+
+	// Within 25%: a 20% slowdown and a speedup both pass; rows on only
+	// one side are ignored.
+	fresh := map[string]Row{
+		"RectSearch/P=16": {NsOp: 1200},
+		"CachesimReplay":  {NsOp: 300},
+		"BrandNew":        {NsOp: 9999},
+	}
+	regressions, err := guardAgainst(record, fresh, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 0 {
+		t.Errorf("guard flagged within-threshold run: %v", regressions)
+	}
+
+	// Past 25%: flagged, and the message names the row and magnitudes.
+	fresh["RectSearch/P=16"] = Row{NsOp: 1300}
+	regressions, err = guardAgainst(record, fresh, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 1 {
+		t.Fatalf("regressions = %v, want exactly one", regressions)
+	}
+	for _, want := range []string{"RectSearch/P=16", "1300", "1000"} {
+		if !strings.Contains(regressions[0], want) {
+			t.Errorf("regression message %q lacks %q", regressions[0], want)
+		}
+	}
+
+	// Only slowdowns count: tightening the threshold still flags just the
+	// slow row, never the CachesimReplay speedup.
+	regressions, err = guardAgainst(record, fresh, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressions) != 1 {
+		t.Errorf("threshold 5%%: regressions = %v, want the one slowdown", regressions)
+	}
+}
+
+func TestGuardAgainstNoOverlap(t *testing.T) {
+	record := writeRecord(t, &Report{Benchmarks: map[string]*Entry{
+		"RectSearch/P=16": {Current: &Row{NsOp: 1000}},
+	}})
+	_, err := guardAgainst(record, map[string]Row{"Other": {NsOp: 1}}, 25)
+	if err == nil {
+		t.Fatal("disjoint run passed the guard")
+	}
+}
+
+func TestGuardAgainstBadRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "broken.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := guardAgainst(path, map[string]Row{"X": {NsOp: 1}}, 25); err == nil {
+		t.Fatal("unparseable record passed the guard")
+	}
+	if _, err := guardAgainst(filepath.Join(t.TempDir(), "absent.json"), nil, 25); err == nil {
+		t.Fatal("missing record passed the guard")
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	raw := filepath.Join(t.TempDir(), "raw.txt")
+	content := `goos: linux
+cpu: Test CPU @ 2.0GHz
+BenchmarkRectSearch/P=16-8   	     100	     12345 ns/op	    2048 B/op	      31 allocs/op
+BenchmarkCachesimReplay-8    	      50	    400.5 ns/op
+some unrelated line
+`
+	if err := os.WriteFile(raw, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, cpu, err := parseBench(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != "Test CPU @ 2.0GHz" {
+		t.Errorf("cpu = %q", cpu)
+	}
+	if r := rows["RectSearch/P=16"]; r.NsOp != 12345 || r.BytesOp != 2048 || r.AllocsOp != 31 {
+		t.Errorf("RectSearch row = %+v", r)
+	}
+	if r := rows["CachesimReplay"]; r.NsOp != 400.5 {
+		t.Errorf("CachesimReplay row = %+v", r)
+	}
+	if _, _, err := parseBench(filepath.Join(t.TempDir(), "absent.txt")); err == nil {
+		t.Error("missing raw file parsed")
+	}
+}

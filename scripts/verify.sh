@@ -25,12 +25,31 @@ go test -race -count=1 \
 	-run 'TestServerSingleflightConcurrentIdentical|TestServerShedsLoad|TestServerGracefulShutdownDrains' \
 	./internal/server
 
+echo '== fuzz smoke: loopir parser (10s) =='
+go test -fuzz=FuzzParse -fuzztime=10s -run '^$' ./internal/loopir
+
+echo '== smoke: looptune calibration recovers the machine fingerprint =='
+# The sim-calibrated fingerprint must agree with the model constants: the
+# microbenchmarks fit hit/miss/atomic/mesh costs, they do not read them.
+caldump=$(go run ./cmd/looptune -calibrate sim)
+echo "$caldump"
+modeldump=$(go run ./cmd/looptune -calibrate model)
+[ "${caldump#fp}" != "$caldump" ] || { echo 'verify: calibration printed no fingerprint' >&2; exit 1; }
+[ "${caldump%%\ *}" = "${modeldump%%\ *}" ] || {
+	echo "verify: sim calibration diverged from the model fingerprint:" >&2
+	echo "  sim:   $caldump" >&2
+	echo "  model: $modeldump" >&2
+	exit 1
+}
+
 echo '== bench smoke: BENCH_PARTITION.json stays well-formed =='
 # A short re-run (10 iterations/benchmark) through the same pipeline that
 # produced the checked-in record; the checked-in file itself must also
 # validate.
 benchout=$(mktemp /tmp/looppart-bench.XXXXXX.json)
-OUT="$benchout" BENCHTIME=10x sh scripts/bench.sh >/dev/null
+# GUARD=0: 10 iterations/benchmark is far too noisy for the regression
+# guard; the real guard runs in full scripts/bench.sh invocations.
+OUT="$benchout" BENCHTIME=10x GUARD=0 sh scripts/bench.sh >/dev/null
 go run ./scripts/benchjson -validate "$benchout"
 go run ./scripts/benchjson -validate BENCH_PARTITION.json
 rm -f "$benchout"

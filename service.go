@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"looppart/internal/autotune"
 	"looppart/internal/plancache"
 	"looppart/internal/telemetry"
 )
@@ -64,6 +65,15 @@ type PlanResult struct {
 	PredictedFootprint float64 `json:"predicted_footprint,omitempty"`
 	PredictedTraffic   float64 `json:"predicted_traffic,omitempty"`
 
+	// Autotuned marks a plan selected by a measured tournament rather
+	// than the analytic argmin alone; MeasuredMisses is the winner's
+	// simulated miss count and AutotuneRank its analytic rank (0 = the
+	// tournament confirmed the analytic choice). All three are absent on
+	// analytic plans, keeping their encoding unchanged.
+	Autotuned      bool  `json:"autotuned,omitempty"`
+	MeasuredMisses int64 `json:"measured_misses,omitempty"`
+	AutotuneRank   int   `json:"autotune_rank,omitempty"`
+
 	// Rendered is plan.String() — byte-identical to the partition line
 	// cmd/looppart prints for the same nest/procs/strategy.
 	Rendered string `json:"rendered"`
@@ -90,6 +100,23 @@ func (r *PlanResponse) Hit() bool { return r.Status != "miss" }
 type ServiceOptions struct {
 	// CacheBytes bounds the plan cache (plancache.DefaultMaxBytes when 0).
 	CacheBytes int64
+	// Store, when non-nil, persists every served plan and warm-starts
+	// the in-memory cache from past sessions at construction. The store
+	// is keyed by canonical plan key + machine fingerprint + schema, so
+	// a restarted daemon serves its first repeat request as a
+	// byte-identical hit without re-running the search.
+	Store *autotune.Store
+	// AutotuneK, when > 0, switches searches to measured tournaments
+	// over the top-K analytic candidates (Program.Autotune). 0 keeps the
+	// pure analytic pipeline.
+	AutotuneK int
+	// Fingerprint supplies the tournament's cost constants; zero value
+	// means the model defaults. Ignored when AutotuneK == 0.
+	Fingerprint autotune.Fingerprint
+	// AutotuneCacheLines bounds the simulated caches during tournament
+	// replays (0 = infinite, the paper's model). Ignored when
+	// AutotuneK == 0.
+	AutotuneCacheLines int
 }
 
 // Service is the embeddable planning facade behind cmd/looppartd: it
@@ -97,18 +124,42 @@ type ServiceOptions struct {
 // singleflight deduplication, so repeated and concurrent requests for the
 // same nest cost one search. A Service is safe for concurrent use.
 type Service struct {
-	cache *plancache.Cache
-	group plancache.Group
+	cache       *plancache.Cache
+	group       plancache.Group
+	store          *autotune.Store
+	autotuneK      int
+	fingerprint    autotune.Fingerprint
+	autotuneCLines int
 
-	requests  atomic.Int64
-	searches  atomic.Int64
-	cacheHits atomic.Int64 // memory hits + singleflight joins
-	errors    atomic.Int64
+	requests   atomic.Int64
+	searches   atomic.Int64
+	cacheHits  atomic.Int64 // memory hits + singleflight joins
+	storeHits  atomic.Int64 // served from the persistent store
+	errors     atomic.Int64
+	warmLoaded atomic.Int64 // entries loaded from the store at boot
 }
 
-// NewService returns a ready Service.
+// NewService returns a ready Service. When a store is configured, its
+// entries (this machine fingerprint's, valid ones only) are loaded into
+// the in-memory cache before the service answers anything.
 func NewService(opts ServiceOptions) *Service {
-	return &Service{cache: plancache.NewCache(opts.CacheBytes)}
+	s := &Service{
+		cache:          plancache.NewCache(opts.CacheBytes),
+		store:          opts.Store,
+		autotuneK:      opts.AutotuneK,
+		fingerprint:    opts.Fingerprint,
+		autotuneCLines: opts.AutotuneCacheLines,
+	}
+	if s.store != nil {
+		var loaded int64
+		_ = s.store.Each(func(key string, val []byte) {
+			s.cache.Put(key, val)
+			loaded++
+		})
+		s.warmLoaded.Store(loaded)
+		telemetry.Active().Counter("service.store.warm_loaded").Add(loaded)
+	}
+	return s
 }
 
 // ServiceStats is a point-in-time view of the service counters.
@@ -118,21 +169,37 @@ type ServiceStats struct {
 	Searches int64 `json:"searches"`
 	// CacheHits counts requests served without a search of their own:
 	// plan-cache hits plus singleflight joins.
-	CacheHits int64           `json:"cache_hits"`
-	Errors    int64           `json:"errors"`
-	Cache     plancache.Stats `json:"cache"`
+	CacheHits int64 `json:"cache_hits"`
+	// StoreHits counts requests served from the persistent store after
+	// missing the in-memory cache (e.g. post-eviction).
+	StoreHits int64 `json:"store_hits,omitempty"`
+	// WarmLoaded counts store entries preloaded into the cache at boot.
+	WarmLoaded int64                `json:"warm_loaded,omitempty"`
+	Errors     int64                `json:"errors"`
+	Cache      plancache.Stats      `json:"cache"`
+	Store      *autotune.StoreStats `json:"store,omitempty"`
 }
 
 // Stats returns the current counters.
 func (s *Service) Stats() ServiceStats {
-	return ServiceStats{
-		Requests:  s.requests.Load(),
-		Searches:  s.searches.Load(),
-		CacheHits: s.cacheHits.Load(),
-		Errors:    s.errors.Load(),
-		Cache:     s.cache.Stats(),
+	st := ServiceStats{
+		Requests:   s.requests.Load(),
+		Searches:   s.searches.Load(),
+		CacheHits:  s.cacheHits.Load(),
+		StoreHits:  s.storeHits.Load(),
+		WarmLoaded: s.warmLoaded.Load(),
+		Errors:     s.errors.Load(),
+		Cache:      s.cache.Stats(),
 	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &ss
+	}
+	return st
 }
+
+// Autotuned reports whether searches run measured tournaments.
+func (s *Service) Autotuned() bool { return s.autotuneK > 0 }
 
 // CacheStats returns the plan-cache counters.
 func (s *Service) CacheStats() plancache.Stats { return s.cache.Stats() }
@@ -158,6 +225,18 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 		reg.Counter("service.plan.cache_hit").Add(1)
 		return response(key, "hit", raw)
 	}
+	if s.store != nil {
+		if raw, ok := s.store.Get(key); ok {
+			// Evicted from memory (or written by another process) but
+			// still on disk: re-admit and serve the stored bytes — the
+			// same canonical encoding a memory hit returns.
+			s.cache.Put(key, raw)
+			s.storeHits.Add(1)
+			s.cacheHits.Add(1)
+			reg.Counter("service.plan.store_hit").Add(1)
+			return response(key, "hit", raw)
+		}
+	}
 
 	raw, shared, err := s.group.Do(ctx, key, func() ([]byte, error) {
 		s.searches.Add(1)
@@ -167,6 +246,7 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 			return nil, err
 		}
 		s.cache.Put(key, raw)
+		s.persist(key, raw)
 		return raw, nil
 	})
 	if err != nil {
@@ -210,6 +290,7 @@ func (s *Service) Explain(req PlanRequest) (*PlanResponse, string, error) {
 		return nil, "", err
 	}
 	s.cache.Put(key, raw)
+	s.persist(key, raw)
 	resp, err := response(key, "bypass", raw)
 	if err != nil {
 		return nil, "", err
@@ -237,16 +318,82 @@ func (s *Service) prepare(req PlanRequest) (*Program, int, Strategy, error) {
 	return prog, req.Procs, strategy, nil
 }
 
-// search runs the partition search and encodes the result canonically.
-func (s *Service) search(prog *Program, key string, procs int, requested string, strategy Strategy) ([]byte, error) {
-	if requested == "" {
-		requested = strategy.String()
+// persist writes a served plan through to the store, if one is attached.
+// Store failures are counted, never fatal: the plan is already served and
+// cached in memory.
+func (s *Service) persist(key string, raw []byte) {
+	if s.store == nil {
+		return
 	}
-	plan, err := prog.Partition(procs, strategy)
+	if err := s.store.Put(key, raw); err != nil {
+		telemetry.Active().Counter("service.store.put_errors").Add(1)
+	}
+}
+
+// Tournament runs a measured plan tournament for req on demand and
+// returns the full predicted-vs-measured result, regardless of the
+// service's autotune mode. The winner is persisted like any served plan,
+// so a later Plan call for the same nest hits.
+func (s *Service) Tournament(req PlanRequest) (*autotune.Result, error) {
+	s.requests.Add(1)
+	prog, procs, strategy, err := s.prepare(req)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	k := s.autotuneK
+	if k <= 0 {
+		k = 4
+	}
+	s.searches.Add(1)
+	plan, res, err := prog.Autotune(procs, strategy, AutotuneOptions{
+		TopK: k, Fingerprint: s.fingerprint, CacheLines: s.autotuneCLines,
+	})
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	if res == nil {
+		// Comm-free or a fixed-shape strategy: no tournament to report.
+		return nil, fmt.Errorf("looppart: strategy %s resolves without a tournament (plan %s)",
+			strategy.String(), plan.String())
+	}
+	key := CanonicalKey(prog, procs, strategy)
+	if raw, err := s.encode(plan, res, key, req.Strategy, strategy, procs); err == nil {
+		s.cache.Put(key, raw)
+		s.persist(key, raw)
+	}
+	return res, nil
+}
+
+// search runs the partition search (a measured tournament in autotune
+// mode) and encodes the result canonically.
+func (s *Service) search(prog *Program, key string, procs int, requested string, strategy Strategy) ([]byte, error) {
+	var (
+		plan *Plan
+		res  *autotune.Result
+		err  error
+	)
+	if s.autotuneK > 0 {
+		plan, res, err = prog.Autotune(procs, strategy, AutotuneOptions{
+			TopK: s.autotuneK, Fingerprint: s.fingerprint, CacheLines: s.autotuneCLines,
+		})
+	} else {
+		plan, err = prog.Partition(procs, strategy)
+	}
 	if err != nil {
 		return nil, err
 	}
-	res := &PlanResult{
+	return s.encode(plan, res, key, requested, strategy, procs)
+}
+
+// encode renders the canonical JSON for a served plan (res non-nil marks
+// a tournament winner).
+func (s *Service) encode(plan *Plan, res *autotune.Result, key, requested string, strategy Strategy, procs int) ([]byte, error) {
+	if requested == "" {
+		requested = strategy.String()
+	}
+	result := &PlanResult{
 		Key:                key,
 		Strategy:           requested,
 		Resolved:           plan.Strategy.String(),
@@ -255,32 +402,38 @@ func (s *Service) search(prog *Program, key string, procs int, requested string,
 		PredictedTraffic:   plan.PredictedTraffic,
 		Rendered:           plan.String(),
 	}
+	if res != nil {
+		w := res.WinnerCandidate()
+		result.Autotuned = true
+		result.MeasuredMisses = w.MeasuredMisses
+		result.AutotuneRank = w.Rank
+	}
 	switch {
 	case plan.Slab != nil:
-		res.Kind = "slab"
-		res.SlabNormal = plan.Slab.Normal
-		res.SlabWidth = plan.Slab.Width
-		res.SlabCommFree = plan.Slab.CommFree
+		result.Kind = "slab"
+		result.SlabNormal = plan.Slab.Normal
+		result.SlabWidth = plan.Slab.Width
+		result.SlabCommFree = plan.Slab.CommFree
 	case plan.Tile != nil:
-		res.Kind = "tile"
+		result.Kind = "tile"
 		if plan.Tile.IsRect() {
-			res.TileExtents = plan.Tile.Extents()
+			result.TileExtents = plan.Tile.Extents()
 		} else {
 			l := plan.Tile.L
-			res.TileMatrix = make([][]int64, l.Rows())
-			for i := range res.TileMatrix {
+			result.TileMatrix = make([][]int64, l.Rows())
+			for i := range result.TileMatrix {
 				row := make([]int64, l.Cols())
 				for j := range row {
 					row[j] = l.At(i, j)
 				}
-				res.TileMatrix[i] = row
+				result.TileMatrix[i] = row
 			}
 		}
 	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetEscapeHTML(false)
-	if err := enc.Encode(res); err != nil {
+	if err := enc.Encode(result); err != nil {
 		return nil, err
 	}
 	// Drop Encode's trailing newline so the stored value is exactly the
