@@ -21,6 +21,8 @@
 //	                   defaults) or sim (fit by microbenchmark)
 //	-autotune K        serve measured tournament winners over the top-K
 //	                   analytic candidates (0 = pure analytic planning)
+//	-selfcheck         verify every served plan before returning it
+//	                   (equivalent to ?verify=1 on every request)
 //	-span-cap N        retained telemetry spans (default 4096)
 //	-event-cap N       retained decision events (default 16384)
 //	-trace FILE        write a Chrome trace on shutdown
@@ -107,6 +109,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	storeDir := fs.String("store", "", "persistent tuned-plan store directory (empty = memory only)")
 	calibrate := fs.String("calibrate", "model", "cost constants: model (paper defaults) or sim (fit by microbenchmark)")
 	autotuneK := fs.Int("autotune", 0, "serve tournament winners over the top-K analytic candidates (0 = analytic)")
+	selfCheck := fs.Bool("selfcheck", false, "verify every served plan before returning it (500 + report on failure)")
 	spanCap := fs.Int("span-cap", 4096, "retained telemetry spans (0 = unbounded)")
 	eventCap := fs.Int("event-cap", 16384, "retained decision events (0 = unbounded)")
 	loadgen := fs.Bool("loadgen", false, "drive load at a running daemon instead of serving")
@@ -177,12 +180,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *autotuneK > 0 {
 		fmt.Fprintf(out, "looppartd: autotune on: top-%d tournaments under %s\n", *autotuneK, fp.ID())
 	}
+	if *selfCheck {
+		fmt.Fprintln(out, "looppartd: self-check on: every served plan is re-verified")
+	}
 	srv := server.New(server.Config{
 		Service:      svc,
 		Registry:     reg,
 		MaxInflight:  *maxInflight,
 		PlanTimeout:  *timeout,
 		MaxBodyBytes: *maxBody,
+		SelfCheck:    *selfCheck,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -2,6 +2,7 @@ package footprint
 
 import (
 	"math"
+	"math/big"
 
 	"looppart/internal/intmat"
 	"looppart/internal/lattice"
@@ -67,7 +68,14 @@ func NewEvaluator(a *Analysis) *Evaluator {
 		ce.square = ce.gr.Rows() == ce.gr.Cols() && ce.gr.IsNonsingular()
 		if ce.square {
 			ce.projSpread = c.Reduced.Project(c.Spread())
-			ce.detGr = math.Abs(float64(ce.gr.Det()))
+			if d, err := ce.gr.DetChecked(); err == nil {
+				ce.detGr = math.Abs(float64(d))
+			} else {
+				// det G' beyond int64: exact magnitude via big.Int, rounded
+				// to float64 — only the lower-bound coefficient needs it.
+				f, _ := new(big.Float).SetInt(ce.gr.DetBig()).Float64()
+				ce.detGr = math.Abs(f)
+			}
 			e.sumDetGr += ce.detGr
 			e.numSquare++
 			ce.u, _, ce.uOK = c.SpreadCoeffs()
@@ -107,7 +115,7 @@ func (e *Evaluator) RectTotalFootprint(ext []int64) (float64, Exactness) {
 // decomposition instead of re-solving it.
 func (ce *classEval) rectFootprint(ext []int64) (float64, Exactness) {
 	if !ce.square {
-		return float64(ce.c.enumerateRect(ext)), Enumerated
+		return ce.c.rectEnumOrModel(ext)
 	}
 	base := 1.0
 	for _, x := range ext {
@@ -126,7 +134,7 @@ func (ce *classEval) rectFootprint(ext []int64) (float64, Exactness) {
 	// Linearized Theorem 4 (Class.RectFootprintLinearized) on the cached
 	// coefficients.
 	if !ce.uOK {
-		return float64(ce.c.enumerateRect(ext)), Enumerated
+		return ce.c.rectEnumOrModel(ext)
 	}
 	total := base
 	for i, ui := range ce.u {
@@ -161,15 +169,9 @@ func (e *Evaluator) TileTotalFootprint(t tile.Tile) (float64, Exactness) {
 // tileFootprint mirrors Class.TileFootprint on the cached terms.
 func (ce *classEval) tileFootprint(t tile.Tile) (float64, Exactness) {
 	if !ce.square {
-		return float64(ce.c.enumerateTile(t)), Enumerated
+		return ce.c.tileEnumOrModel(t)
 	}
-	lg := t.L.Mul(ce.gr)
-	total := math.Abs(float64(lg.Det()))
-	for i := 0; i < lg.Rows(); i++ {
-		replaced := lg.WithRow(i, ce.projSpread)
-		total += math.Abs(float64(replaced.Det()))
-	}
-	return total, Approximate
+	return tileModelFootprint(t, ce.gr, ce.projSpread)
 }
 
 // RectLowerBound returns an admissible lower bound on RectTotalFootprint:

@@ -17,8 +17,23 @@ import (
 // ExactClassFootprint returns |∪_r F(r)| over the class members for the
 // given iteration points, using the full (unreduced) G.
 func ExactClassFootprint(c Class, iterPts [][]int64) int64 {
+	return ExactClassFootprintFunc(c, func(yield func(p []int64) bool) {
+		for _, p := range iterPts {
+			if !yield(p) {
+				return
+			}
+		}
+	})
+}
+
+// ExactClassFootprintFunc is ExactClassFootprint over a streamed point
+// source: forEach must call yield once per iteration point and stop when
+// yield returns false. Only the distinct-element key set is held in
+// memory, never the point list — this is the enumeration path for tiles
+// too large to materialize (see SetEnumerationBudget).
+func ExactClassFootprintFunc(c Class, forEach func(yield func(p []int64) bool)) int64 {
 	seen := make(map[string]struct{})
-	for _, p := range iterPts {
+	forEach(func(p []int64) bool {
 		base := c.G.MulVec(p)
 		for _, r := range c.Refs {
 			var b strings.Builder
@@ -27,7 +42,8 @@ func ExactClassFootprint(c Class, iterPts [][]int64) int64 {
 			}
 			seen[b.String()] = struct{}{}
 		}
-	}
+		return true
+	})
 	return int64(len(seen))
 }
 
@@ -147,14 +163,18 @@ func abs64(v int64) int64 {
 
 func writeInt(b *strings.Builder, v int64) {
 	// Compact signed varint-ish encoding; delimiters avoid ambiguity.
+	// The magnitude is taken in uint64 space: -v wraps for MinInt64 (it is
+	// its own negation in int64), which would alias the key of -2^63 with
+	// the key of 0 prefixed by '-' and corrupt the dedup count.
+	u := uint64(v)
 	if v < 0 {
 		b.WriteByte('-')
-		v = -v
+		u = -u
 	}
-	for v >= 10 {
-		b.WriteByte(byte('0' + v%10))
-		v /= 10
+	for u >= 10 {
+		b.WriteByte(byte('0' + u%10))
+		u /= 10
 	}
-	b.WriteByte(byte('0' + v))
+	b.WriteByte(byte('0' + u))
 	b.WriteByte(',')
 }

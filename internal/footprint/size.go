@@ -3,11 +3,38 @@ package footprint
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"looppart/internal/intmat"
 	"looppart/internal/lattice"
 	"looppart/internal/tile"
 )
+
+// DefaultEnumerationBudget is the default cap on the number of iteration
+// points the exact-enumeration fallbacks will stream per footprint query.
+// Enumeration walks every point of a tile; without a cap a single
+// degenerate candidate (huge extents, no closed form) stalls a search or
+// a server request indefinitely. Above the budget the model fallback
+// stands in (see rectEnumOrModel / tileEnumOrModel).
+const DefaultEnumerationBudget = 1 << 20
+
+var enumBudget atomic.Int64
+
+func init() { enumBudget.Store(DefaultEnumerationBudget) }
+
+// EnumerationBudget returns the current iteration-point budget.
+func EnumerationBudget() int64 { return enumBudget.Load() }
+
+// SetEnumerationBudget sets the iteration-point budget for exact
+// enumeration fallbacks and returns the previous value. n ≤ 0 removes the
+// cap. Safe for concurrent use (searches evaluate candidates on a worker
+// pool).
+func SetEnumerationBudget(n int64) (prev int64) {
+	if n <= 0 {
+		n = math.MaxInt64
+	}
+	return enumBudget.Swap(n)
+}
 
 // Exactness qualifies a size prediction.
 type Exactness int
@@ -122,7 +149,7 @@ func (c Class) RectFootprint(ext []int64) (float64, Exactness) {
 	gr := c.Reduced.G
 	square := gr.Rows() == gr.Cols() && gr.IsNonsingular()
 	if !square {
-		return float64(c.enumerateRect(ext)), Enumerated
+		return c.rectEnumOrModel(ext)
 	}
 	base := 1.0
 	for _, e := range ext {
@@ -157,7 +184,7 @@ func (c Class) RectFootprint(ext []int64) (float64, Exactness) {
 func (c Class) RectFootprintLinearized(ext []int64) (float64, Exactness) {
 	u, _, ok := c.SpreadCoeffs()
 	if !ok {
-		return float64(c.enumerateRect(ext)), Enumerated
+		return c.rectEnumOrModel(ext)
 	}
 	base := 1.0
 	for _, e := range ext {
@@ -222,38 +249,108 @@ func (c Class) RectTrafficLinearized(ext []int64) (float64, Exactness) {
 func (c Class) TileFootprint(t tile.Tile) (float64, Exactness) {
 	gr := c.Reduced.G
 	if gr.Rows() != gr.Cols() || !gr.IsNonsingular() {
-		return float64(c.enumerateTile(t)), Enumerated
+		return c.tileEnumOrModel(t)
 	}
-	lg := t.L.Mul(gr)
-	total := math.Abs(float64(lg.Det()))
 	spread := c.Reduced.Project(c.Spread())
+	return tileModelFootprint(t, gr, spread)
+}
+
+// tileModelFootprint evaluates Theorem 2's |det LG'| + Σᵢ |det (LG')_{i→â'}|
+// with overflow-checked arithmetic. A candidate whose determinants are not
+// representable scores +Inf — strictly worse than every representable
+// candidate — so a search can never rank tiles by a wrapped determinant.
+// Both Class.TileFootprint and the Evaluator mirror call this, keeping the
+// two paths bit-identical.
+func tileModelFootprint(t tile.Tile, gr intmat.Mat, spread []int64) (float64, Exactness) {
+	lg, err := t.L.MulChecked(gr)
+	if err != nil {
+		return math.Inf(1), Approximate
+	}
+	d, err := lg.DetChecked()
+	if err != nil {
+		return math.Inf(1), Approximate
+	}
+	total := math.Abs(float64(d))
 	for i := 0; i < lg.Rows(); i++ {
-		replaced := lg.WithRow(i, spread)
-		total += math.Abs(float64(replaced.Det()))
+		rd, err := lg.WithRow(i, spread).DetChecked()
+		if err != nil {
+			return math.Inf(1), Approximate
+		}
+		total += math.Abs(float64(rd))
 	}
 	return total, Approximate
 }
 
+// rectEnumOrModel is the fallback for rectangular tiles with no applicable
+// closed form. Tiles within the enumeration budget stream their points
+// through the exact Definition 3 count; larger tiles use the refs·volume
+// upper bound (each iteration point touches at most len(Refs) elements),
+// reported as Approximate so callers know no exact count backs it.
+func (c Class) rectEnumOrModel(ext []int64) (float64, Exactness) {
+	if v := rectVolume(ext); v > enumBudget.Load() {
+		return float64(len(c.Refs)) * float64(v), Approximate
+	}
+	return float64(c.enumerateRect(ext)), Enumerated
+}
+
+// tileEnumOrModel is the fallback for hyperparallelepiped tiles.
+// enumerateTile scans the bounding box of the tile's vertices, so the
+// budget gates on the box volume; above it the refs·|det L| upper bound
+// stands in, and a tile whose volume is not even representable scores +Inf.
+func (c Class) tileEnumOrModel(t tile.Tile) (float64, Exactness) {
+	box := int64(1)
+	d := t.Dim()
+	for j := 0; j < d; j++ {
+		var lo, hi int64
+		for i := 0; i < d; i++ {
+			if v := t.L.At(i, j); v < 0 {
+				lo = intmat.SatAdd(lo, v)
+			} else {
+				hi = intmat.SatAdd(hi, v)
+			}
+		}
+		span := intmat.SatAdd(intmat.SatAdd(hi, intmat.SatMul(lo, -1)), 1)
+		box = intmat.SatMul(box, span)
+	}
+	if box <= enumBudget.Load() {
+		return float64(c.enumerateTile(t)), Enumerated
+	}
+	vol, err := t.L.DetChecked()
+	if err != nil {
+		return math.Inf(1), Approximate
+	}
+	return float64(len(c.Refs)) * math.Abs(float64(vol)), Approximate
+}
+
+// rectVolume returns Π extⱼ, saturating at MaxInt64.
+func rectVolume(ext []int64) int64 {
+	v := int64(1)
+	for _, e := range ext {
+		v = intmat.SatMul(v, e)
+	}
+	return v
+}
+
 // enumerateRect computes the exact cumulative footprint of the rectangular
-// origin tile with the given extents.
+// origin tile with the given extents, streaming the points.
 func (c Class) enumerateRect(ext []int64) int64 {
-	pts := rectPoints(ext)
-	return ExactClassFootprint(c, pts)
+	return ExactClassFootprintFunc(c, rectForEach(ext))
 }
 
 // enumerateRectSingle computes the exact footprint of the first reference
 // alone.
 func (c Class) enumerateRectSingle(ext []int64) int64 {
-	pts := rectPoints(ext)
 	single := Class{Array: c.Array, G: c.G, Refs: c.Refs[:1], Reduced: c.Reduced}
-	return ExactClassFootprint(single, pts)
+	return ExactClassFootprintFunc(single, rectForEach(ext))
 }
 
 func (c Class) enumerateTile(t tile.Tile) int64 {
 	return ExactClassFootprint(c, tile.OriginPoints(t))
 }
 
-func rectPoints(ext []int64) [][]int64 {
+// rectForEach streams the points of the origin-anchored rectangle with the
+// given extents, without materializing the cross-product.
+func rectForEach(ext []int64) func(yield func(p []int64) bool) {
 	hi := make([]int64, len(ext))
 	for k, e := range ext {
 		if e <= 0 {
@@ -261,8 +358,15 @@ func rectPoints(ext []int64) [][]int64 {
 		}
 		hi[k] = e - 1
 	}
+	return tile.Bounds{Lo: make([]int64, len(ext)), Hi: hi}.ForEach
+}
+
+// rectPoints materializes the full point list of the origin rectangle.
+// Retained for tests and experiments that need the points themselves;
+// footprint queries stream via rectForEach instead.
+func rectPoints(ext []int64) [][]int64 {
 	var pts [][]int64
-	(tile.Bounds{Lo: make([]int64, len(ext)), Hi: hi}).ForEach(func(p []int64) bool {
+	rectForEach(ext)(func(p []int64) bool {
 		pts = append(pts, p)
 		return true
 	})
@@ -271,13 +375,20 @@ func rectPoints(ext []int64) [][]int64 {
 
 // SingleFootprintVolume returns |det LG'| for one reference (Equation 2) —
 // the leading term of the footprint size — or ok=false when the reduced G
-// is not square.
+// is not square or the determinant is not representable in int64.
 func (c Class) SingleFootprintVolume(t tile.Tile) (int64, bool) {
 	gr := c.Reduced.G
 	if gr.Rows() != gr.Cols() {
 		return 0, false
 	}
-	d := t.L.Mul(gr).Det()
+	lg, err := t.L.MulChecked(gr)
+	if err != nil {
+		return 0, false
+	}
+	d, err := lg.DetChecked()
+	if err != nil || d == math.MinInt64 {
+		return 0, false
+	}
 	if d < 0 {
 		d = -d
 	}
@@ -375,12 +486,19 @@ func (a *Analysis) TileTotalTraffic(t tile.Tile) (float64, Exactness) {
 	worst := Exact
 	for _, c := range a.Classes {
 		fp, ex := c.TileFootprint(t)
-		if vol, ok := c.SingleFootprintVolume(t); ok && ex != Enumerated {
+		if math.IsInf(fp, 1) {
+			// Unrepresentable determinants: the traffic is as unrankable
+			// as the footprint; keep the +Inf sentinel.
+			total += fp
+		} else if vol, ok := c.SingleFootprintVolume(t); ok && ex != Enumerated {
 			total += fp - float64(vol)
 		} else {
 			single := Class{Array: c.Array, G: c.G, Refs: c.Refs[:1], Reduced: c.Reduced}
-			total += fp - float64(single.enumerateTile(t))
-			ex = Enumerated
+			sfp, sex := single.tileEnumOrModel(t)
+			total += fp - sfp
+			if sex > ex {
+				ex = sex
+			}
 		}
 		if ex > worst {
 			worst = ex

@@ -1,0 +1,299 @@
+package intmat
+
+// Overflow-checked integer arithmetic. The analytic formulas the whole
+// stack optimizes over (cumulative footprints, Theorems 2 and 4; lattice
+// intersection, Theorem 3) are only trustworthy if the integer machinery
+// under them is: HNF/SNF row operations and Bareiss determinant
+// intermediates are exactly the kind of values that silently blow past
+// int64. Everything here reports overflow explicitly — as an (value, ok)
+// pair, a typed error, or a saturating sentinel — instead of wrapping, so
+// a partition search can never rank tiles by a wrapped determinant.
+//
+// Three tiers, by caller need:
+//
+//   - CheckedAdd / CheckedMul: math/bits-based primitives returning ok.
+//   - SatAdd / SatMul: clamp to ±MaxInt64, preserving sign and order —
+//     for cost models where "too big to represent" must still compare as
+//     worse than every representable candidate.
+//   - DetChecked / HNFChecked / SNFChecked / MulChecked / MulVecChecked:
+//     error-returning forms of the package's algorithms. DetChecked
+//     additionally falls back to exact big.Int elimination, so it only
+//     fails when the determinant itself exceeds int64 (DetBig never
+//     fails).
+//
+// The legacy panicking entry points (Det, HNF, SNF, Mul, MulVec) are thin
+// wrappers over the checked forms and keep their historical behavior.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"math/bits"
+)
+
+// ErrOverflow reports that an int64 computation would wrap. It is the
+// target for errors.Is on every checked entry point in this package.
+var ErrOverflow = errors.New("intmat: int64 overflow")
+
+// ShapeError reports an operation applied to a matrix of the wrong shape
+// (e.g. Det of a non-square matrix).
+type ShapeError struct {
+	Op         string
+	Rows, Cols int
+}
+
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("intmat: %s of non-square %dx%d matrix", e.Op, e.Rows, e.Cols)
+}
+
+// CheckedAdd returns a+b and whether the sum is representable in int64.
+func CheckedAdd(a, b int64) (int64, bool) {
+	sum, _ := bits.Add64(uint64(a), uint64(b), 0)
+	s := int64(sum)
+	// Overflow iff the operands share a sign the sum does not.
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// CheckedMul returns a·b and whether the product is representable in int64.
+func CheckedMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	neg := (a < 0) != (b < 0)
+	hi, lo := bits.Mul64(absU64(a), absU64(b))
+	if hi != 0 {
+		return 0, false
+	}
+	if neg {
+		if lo > 1<<63 {
+			return 0, false
+		}
+		return -int64(lo), true // lo == 1<<63 yields MinInt64 exactly
+	}
+	if lo > math.MaxInt64 {
+		return 0, false
+	}
+	return int64(lo), true
+}
+
+// CheckedNeg returns -a and whether it is representable (false only for
+// MinInt64).
+func CheckedNeg(a int64) (int64, bool) {
+	if a == math.MinInt64 {
+		return 0, false
+	}
+	return -a, true
+}
+
+// SatAdd returns a+b clamped to [MinInt64, MaxInt64]. Saturation preserves
+// sign and ordering, so a saturated cost still compares as worse than any
+// exact one.
+func SatAdd(a, b int64) int64 {
+	if s, ok := CheckedAdd(a, b); ok {
+		return s
+	}
+	if a > 0 {
+		return math.MaxInt64
+	}
+	return math.MinInt64
+}
+
+// SatMul returns a·b clamped to [MinInt64, MaxInt64].
+func SatMul(a, b int64) int64 {
+	if p, ok := CheckedMul(a, b); ok {
+		return p
+	}
+	if (a < 0) != (b < 0) {
+		return math.MinInt64
+	}
+	return math.MaxInt64
+}
+
+// absU64 returns |a| as a uint64; exact for MinInt64 (2^63).
+func absU64(a int64) uint64 {
+	u := uint64(a)
+	if a < 0 {
+		u = -u
+	}
+	return u
+}
+
+// MulChecked returns m·n, reporting overflow instead of panicking.
+// Shape mismatches still return a typed error, not a panic.
+func (m Mat) MulChecked(n Mat) (Mat, error) {
+	if m.cols != n.rows {
+		return Mat{}, fmt.Errorf("intmat: Mul shape mismatch %dx%d · %dx%d", m.rows, m.cols, n.rows, n.cols)
+	}
+	p := NewMat(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			mik := m.At(i, k)
+			if mik == 0 {
+				continue
+			}
+			for j := 0; j < n.cols; j++ {
+				prod, ok := CheckedMul(mik, n.At(k, j))
+				if !ok {
+					return Mat{}, fmt.Errorf("%w: product entry (%d,%d)", ErrOverflow, i, j)
+				}
+				sum, ok := CheckedAdd(p.At(i, j), prod)
+				if !ok {
+					return Mat{}, fmt.Errorf("%w: product entry (%d,%d)", ErrOverflow, i, j)
+				}
+				p.Set(i, j, sum)
+			}
+		}
+	}
+	return p, nil
+}
+
+// MulVecChecked returns the row-vector product v·m, reporting overflow
+// instead of panicking.
+func (m Mat) MulVecChecked(v []int64) ([]int64, error) {
+	if len(v) != m.rows {
+		return nil, fmt.Errorf("intmat: MulVec length mismatch: %d coefficients for %d rows", len(v), m.rows)
+	}
+	out := make([]int64, m.cols)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		for j := 0; j < m.cols; j++ {
+			prod, ok := CheckedMul(vi, m.At(i, j))
+			if !ok {
+				return nil, fmt.Errorf("%w: v·m component %d", ErrOverflow, j)
+			}
+			sum, ok := CheckedAdd(out[j], prod)
+			if !ok {
+				return nil, fmt.Errorf("%w: v·m component %d", ErrOverflow, j)
+			}
+			out[j] = sum
+		}
+	}
+	return out, nil
+}
+
+// DetChecked returns the determinant of a square matrix. Bareiss
+// elimination runs first in int64 with every intermediate checked; if any
+// intermediate would wrap, the computation restarts in exact big.Int
+// arithmetic, so the only failures are a non-square receiver (ShapeError)
+// or a determinant whose value itself exceeds int64 (ErrOverflow — use
+// DetBig for those).
+func (m Mat) DetChecked() (int64, error) {
+	if !m.IsSquare() {
+		return 0, &ShapeError{Op: "Det", Rows: m.rows, Cols: m.cols}
+	}
+	if d, ok := m.detBareiss(); ok {
+		return d, nil
+	}
+	d := m.DetBig()
+	if d.IsInt64() {
+		return d.Int64(), nil
+	}
+	return 0, fmt.Errorf("%w: determinant %s exceeds int64", ErrOverflow, d.String())
+}
+
+// detBareiss is fraction-free elimination with checked intermediates;
+// ok is false when any intermediate would wrap int64.
+func (m Mat) detBareiss() (int64, bool) {
+	n := m.rows
+	if n == 0 {
+		return 1, true
+	}
+	w := m.Clone()
+	sign := int64(1)
+	prev := int64(1)
+	for k := 0; k < n-1; k++ {
+		if w.At(k, k) == 0 {
+			p := -1
+			for i := k + 1; i < n; i++ {
+				if w.At(i, k) != 0 {
+					p = i
+					break
+				}
+			}
+			if p == -1 {
+				return 0, true
+			}
+			w.swapRows(k, p)
+			sign = -sign
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				p1, ok := CheckedMul(w.At(i, j), w.At(k, k))
+				if !ok {
+					return 0, false
+				}
+				p2, ok := CheckedMul(w.At(i, k), w.At(k, j))
+				if !ok {
+					return 0, false
+				}
+				num, ok := CheckedAdd(p1, -p2)
+				if !ok || p2 == math.MinInt64 {
+					return 0, false
+				}
+				w.Set(i, j, num/prev) // exact by Bareiss invariant
+			}
+			w.Set(i, k, 0)
+		}
+		prev = w.At(k, k)
+	}
+	return sign * w.At(n-1, n-1), true
+}
+
+// DetBig returns the exact determinant as a big.Int, via the same Bareiss
+// elimination over arbitrary precision. It panics only on a non-square
+// receiver.
+func (m Mat) DetBig() *big.Int {
+	if !m.IsSquare() {
+		panic((&ShapeError{Op: "DetBig", Rows: m.rows, Cols: m.cols}).Error())
+	}
+	n := m.rows
+	if n == 0 {
+		return big.NewInt(1)
+	}
+	w := make([][]*big.Int, n)
+	for i := 0; i < n; i++ {
+		w[i] = make([]*big.Int, n)
+		for j := 0; j < n; j++ {
+			w[i][j] = big.NewInt(m.At(i, j))
+		}
+	}
+	sign := int64(1)
+	prev := big.NewInt(1)
+	var tmp big.Int
+	for k := 0; k < n-1; k++ {
+		if w[k][k].Sign() == 0 {
+			p := -1
+			for i := k + 1; i < n; i++ {
+				if w[i][k].Sign() != 0 {
+					p = i
+					break
+				}
+			}
+			if p == -1 {
+				return big.NewInt(0)
+			}
+			w[k], w[p] = w[p], w[k]
+			sign = -sign
+		}
+		for i := k + 1; i < n; i++ {
+			for j := k + 1; j < n; j++ {
+				num := new(big.Int).Mul(w[i][j], w[k][k])
+				num.Sub(num, tmp.Mul(w[i][k], w[k][j]))
+				w[i][j] = num.Quo(num, prev) // exact by Bareiss invariant
+			}
+			w[i][k] = big.NewInt(0)
+		}
+		prev = w[k][k]
+	}
+	d := new(big.Int).Set(w[n-1][n-1])
+	if sign < 0 {
+		d.Neg(d)
+	}
+	return d
+}

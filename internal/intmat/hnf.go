@@ -1,7 +1,8 @@
 package intmat
 
 import (
-	"looppart/internal/rational"
+	"fmt"
+	"math"
 )
 
 // This file implements the Hermite and Smith normal forms used by the
@@ -17,6 +18,13 @@ import (
 // A is H = U·A with U unimodular, H in row-echelon form with positive
 // pivots and entries below each pivot zero, entries above each pivot
 // reduced into [0, pivot).
+//
+// Every algorithm comes in two forms: a *Checked variant whose row
+// operations detect int64 overflow and return ErrOverflow, and the legacy
+// panicking form wrapping it. The Euclid-style reductions keep entries
+// near the input magnitudes, but adversarial inputs (fuzzed matrices,
+// large-entry tiles) can genuinely wrap — those must surface as errors,
+// not as a wrong lattice basis.
 
 // HNFResult carries the row Hermite normal form H = U·A.
 type HNFResult struct {
@@ -27,8 +35,19 @@ type HNFResult struct {
 	Rank      int
 }
 
-// HNF computes the row Hermite normal form of m.
+// HNF computes the row Hermite normal form of m. It panics on int64
+// overflow; HNFChecked reports it as an error instead.
 func HNF(m Mat) HNFResult {
+	r, err := HNFChecked(m)
+	if err != nil {
+		panic(err.Error())
+	}
+	return r
+}
+
+// HNFChecked computes the row Hermite normal form of m with every row
+// operation overflow-checked.
+func HNFChecked(m Mat) (HNFResult, error) {
 	h := m.Clone()
 	u := Identity(m.rows)
 	var pivots []int
@@ -57,13 +76,15 @@ func HNF(m Mat) HNFResult {
 					continue
 				}
 				q := b / a
-				h.addRowMultiple(i, row, -q)
-				u.addRowMultiple(i, row, -q)
+				if err := addRowMultipleChecked(h, u, i, row, -q); err != nil {
+					return HNFResult{}, err
+				}
 			}
 		}
 		if h.At(row, col) < 0 {
-			h.negateRow(row)
-			u.negateRow(row)
+			if err := negateRowChecked(h, u, row); err != nil {
+				return HNFResult{}, err
+			}
 		}
 		// Reduce entries above the pivot into [0, pivot).
 		piv := h.At(row, col)
@@ -71,30 +92,67 @@ func HNF(m Mat) HNFResult {
 			v := h.At(i, col)
 			q := floorDiv(v, piv)
 			if q != 0 {
-				h.addRowMultiple(i, row, -q)
-				u.addRowMultiple(i, row, -q)
+				if err := addRowMultipleChecked(h, u, i, row, -q); err != nil {
+					return HNFResult{}, err
+				}
 			}
 		}
 		pivots = append(pivots, col)
 		row++
 	}
-	return HNFResult{H: h, U: u, PivotCols: pivots, Rank: row}
+	return HNFResult{H: h, U: u, PivotCols: pivots, Rank: row}, nil
 }
 
-// addRowMultiple adds k times row src to row dst.
-func (m Mat) addRowMultiple(dst, src int, k int64) {
+// addRowMultipleChecked adds k times row src to row dst in both h and u,
+// reporting overflow. The pair updates together so a failed operation
+// cannot leave H and U out of sync with H = U·A.
+func addRowMultipleChecked(h, u Mat, dst, src int, k int64) error {
 	if k == 0 {
-		return
+		return nil
 	}
-	for c := 0; c < m.cols; c++ {
-		m.Set(dst, c, rational.CheckedAddInt(m.At(dst, c), rational.CheckedMulInt(k, m.At(src, c))))
+	if err := h.addRowMultiple(dst, src, k); err != nil {
+		return err
 	}
+	return u.addRowMultiple(dst, src, k)
 }
 
-func (m Mat) negateRow(i int) {
-	for c := 0; c < m.cols; c++ {
-		m.Set(i, c, -m.At(i, c))
+// addRowMultiple adds k times row src to row dst, reporting overflow.
+func (m Mat) addRowMultiple(dst, src int, k int64) error {
+	if k == 0 {
+		return nil
 	}
+	for c := 0; c < m.cols; c++ {
+		prod, ok := CheckedMul(k, m.At(src, c))
+		if !ok {
+			return fmt.Errorf("%w: row operation %d += %d·row %d", ErrOverflow, dst, k, src)
+		}
+		sum, ok := CheckedAdd(m.At(dst, c), prod)
+		if !ok {
+			return fmt.Errorf("%w: row operation %d += %d·row %d", ErrOverflow, dst, k, src)
+		}
+		m.Set(dst, c, sum)
+	}
+	return nil
+}
+
+// negateRowChecked negates row i of both h and u; the only unrepresentable
+// negation is of MinInt64.
+func negateRowChecked(h, u Mat, i int) error {
+	if err := h.negateRow(i); err != nil {
+		return err
+	}
+	return u.negateRow(i)
+}
+
+func (m Mat) negateRow(i int) error {
+	for c := 0; c < m.cols; c++ {
+		v, ok := CheckedNeg(m.At(i, c))
+		if !ok {
+			return fmt.Errorf("%w: negating row %d", ErrOverflow, i)
+		}
+		m.Set(i, c, v)
+	}
+	return nil
 }
 
 func abs(a int64) int64 {
@@ -117,12 +175,25 @@ func floorDiv(a, b int64) int64 {
 // of A generate a lattice (Theorem 3's membership test). It returns the
 // coordinate vector u and true if t is in the row lattice of A; otherwise
 // ok is false. When the rows of A are linearly dependent the returned u is
-// one valid solution.
+// one valid solution. It panics on int64 overflow; SolveIntLeftChecked
+// reports it as an error.
 func SolveIntLeft(a Mat, t []int64) (u []int64, ok bool) {
-	if len(t) != a.cols {
-		panic("intmat: SolveIntLeft length mismatch")
+	u, ok, err := SolveIntLeftChecked(a, t)
+	if err != nil {
+		panic(err.Error())
 	}
-	hr := HNF(a)
+	return u, ok
+}
+
+// SolveIntLeftChecked is SolveIntLeft with overflow surfaced as an error.
+func SolveIntLeftChecked(a Mat, t []int64) (u []int64, ok bool, err error) {
+	if len(t) != a.cols {
+		return nil, false, fmt.Errorf("intmat: SolveIntLeft length mismatch: %d components for %d columns", len(t), a.cols)
+	}
+	hr, err := HNFChecked(a)
+	if err != nil {
+		return nil, false, err
+	}
 	// Solve y·H = t by forward substitution over pivot columns, then
 	// u = y·U.
 	y := make([]int64, a.rows)
@@ -131,22 +202,33 @@ func SolveIntLeft(a Mat, t []int64) (u []int64, ok bool) {
 	for k, col := range hr.PivotCols {
 		piv := hr.H.At(k, col)
 		if rem[col]%piv != 0 {
-			return nil, false
+			return nil, false, nil
 		}
 		y[k] = rem[col] / piv
 		if y[k] != 0 {
 			for c := 0; c < a.cols; c++ {
-				rem[c] = rational.CheckedAddInt(rem[c], -rational.CheckedMulInt(y[k], hr.H.At(k, c)))
+				prod, okm := CheckedMul(y[k], hr.H.At(k, c))
+				if !okm {
+					return nil, false, fmt.Errorf("%w: forward substitution", ErrOverflow)
+				}
+				sum, oka := CheckedAdd(rem[c], -prod)
+				if !oka || prod == math.MinInt64 {
+					return nil, false, fmt.Errorf("%w: forward substitution", ErrOverflow)
+				}
+				rem[c] = sum
 			}
 		}
 	}
 	for _, v := range rem {
 		if v != 0 {
-			return nil, false
+			return nil, false, nil
 		}
 	}
-	u = hr.U.MulVec(y) // u = y·U
-	return u, true
+	u, err = hr.U.MulVecChecked(y) // u = y·U
+	if err != nil {
+		return nil, false, err
+	}
+	return u, true, nil
 }
 
 // InRowLattice reports whether t is an integer combination of the rows of a.
@@ -168,8 +250,19 @@ type SNFResult struct {
 // SNF computes the Smith normal form of m. The product of the invariant
 // factors is the index of the row lattice in Z^d (for full-rank square m,
 // |det m|); the map i ↦ i·G is onto Z^d exactly when all invariant factors
-// are 1 (the paper's Lemma 2).
+// are 1 (the paper's Lemma 2). It panics on int64 overflow; SNFChecked
+// reports it as an error instead.
 func SNF(m Mat) SNFResult {
+	r, err := SNFChecked(m)
+	if err != nil {
+		panic(err.Error())
+	}
+	return r
+}
+
+// SNFChecked computes the Smith normal form of m with every row and
+// column operation overflow-checked.
+func SNFChecked(m Mat) (SNFResult, error) {
 	s := m.Clone()
 	u := Identity(m.rows)
 	v := Identity(m.cols)
@@ -184,8 +277,9 @@ func SNF(m Mat) SNFResult {
 			for i := k + 1; i < s.rows; i++ {
 				for s.At(i, k) != 0 {
 					q := s.At(i, k) / s.At(k, k)
-					s.addRowMultiple(i, k, -q)
-					u.addRowMultiple(i, k, -q)
+					if err := addRowMultipleChecked(s, u, i, k, -q); err != nil {
+						return SNFResult{}, err
+					}
 					if s.At(i, k) != 0 {
 						s.swapRows(k, i)
 						u.swapRows(k, i)
@@ -196,8 +290,9 @@ func SNF(m Mat) SNFResult {
 			for j := k + 1; j < s.cols; j++ {
 				for s.At(k, j) != 0 {
 					q := s.At(k, j) / s.At(k, k)
-					addColMultiple(s, j, k, -q)
-					addColMultiple(v, j, k, -q)
+					if err := addColMultipleChecked(s, v, j, k, -q); err != nil {
+						return SNFResult{}, err
+					}
 					if s.At(k, j) != 0 {
 						swapCols(s, k, j)
 						swapCols(v, k, j)
@@ -214,16 +309,18 @@ func SNF(m Mat) SNFResult {
 			for j := k + 1; j < s.cols; j++ {
 				if s.At(i, j)%s.At(k, k) != 0 {
 					// Add row i to row k, then re-eliminate.
-					s.addRowMultiple(k, i, 1)
-					u.addRowMultiple(k, i, 1)
+					if err := addRowMultipleChecked(s, u, k, i, 1); err != nil {
+						return SNFResult{}, err
+					}
 					k--
 					goto next
 				}
 			}
 		}
 		if s.At(k, k) < 0 {
-			s.negateRow(k)
-			u.negateRow(k)
+			if err := negateRowChecked(s, u, k); err != nil {
+				return SNFResult{}, err
+			}
 		}
 	next:
 	}
@@ -233,7 +330,7 @@ func SNF(m Mat) SNFResult {
 			inv = append(inv, d)
 		}
 	}
-	return SNFResult{S: s, U: u, V: v, Invariants: inv}
+	return SNFResult{S: s, U: u, V: v, Invariants: inv}, nil
 }
 
 // snfPivot moves a nonzero entry from the trailing submatrix to (k,k).
@@ -257,13 +354,34 @@ func snfPivot(s, u, v Mat, k int) bool {
 	return false
 }
 
-func addColMultiple(m Mat, dst, src int, k int64) {
+// addColMultipleChecked adds k times column src to column dst in both s
+// and v, reporting overflow.
+func addColMultipleChecked(s, v Mat, dst, src int, k int64) error {
 	if k == 0 {
-		return
+		return nil
+	}
+	if err := addColMultiple(s, dst, src, k); err != nil {
+		return err
+	}
+	return addColMultiple(v, dst, src, k)
+}
+
+func addColMultiple(m Mat, dst, src int, k int64) error {
+	if k == 0 {
+		return nil
 	}
 	for r := 0; r < m.rows; r++ {
-		m.Set(r, dst, rational.CheckedAddInt(m.At(r, dst), rational.CheckedMulInt(k, m.At(r, src))))
+		prod, ok := CheckedMul(k, m.At(r, src))
+		if !ok {
+			return fmt.Errorf("%w: column operation %d += %d·col %d", ErrOverflow, dst, k, src)
+		}
+		sum, ok := CheckedAdd(m.At(r, dst), prod)
+		if !ok {
+			return fmt.Errorf("%w: column operation %d += %d·col %d", ErrOverflow, dst, k, src)
+		}
+		m.Set(r, dst, sum)
 	}
+	return nil
 }
 
 func swapCols(m Mat, i, j int) {

@@ -284,46 +284,19 @@ func (m Mat) String() string {
 }
 
 // Det returns the determinant of a square matrix, computed exactly by the
-// Bareiss fraction-free elimination algorithm. It panics if m is not square.
+// Bareiss fraction-free elimination algorithm (with a transparent big.Int
+// fallback when an int64 intermediate would wrap — see DetChecked). It
+// panics if m is not square or if the determinant value itself exceeds
+// int64; callers that must not panic use DetChecked or DetBig.
 func (m Mat) Det() int64 {
 	if !m.IsSquare() {
 		panic("intmat: Det of non-square matrix")
 	}
-	n := m.rows
-	if n == 0 {
-		return 1
+	d, err := m.DetChecked()
+	if err != nil {
+		panic(err.Error())
 	}
-	w := m.Clone()
-	sign := int64(1)
-	prev := int64(1)
-	for k := 0; k < n-1; k++ {
-		if w.At(k, k) == 0 {
-			// Find a pivot row below.
-			p := -1
-			for i := k + 1; i < n; i++ {
-				if w.At(i, k) != 0 {
-					p = i
-					break
-				}
-			}
-			if p == -1 {
-				return 0
-			}
-			w.swapRows(k, p)
-			sign = -sign
-		}
-		for i := k + 1; i < n; i++ {
-			for j := k + 1; j < n; j++ {
-				num := rational.CheckedAddInt(
-					rational.CheckedMulInt(w.At(i, j), w.At(k, k)),
-					-rational.CheckedMulInt(w.At(i, k), w.At(k, j)))
-				w.Set(i, j, num/prev) // exact by Bareiss invariant
-			}
-			w.Set(i, k, 0)
-		}
-		prev = w.At(k, k)
-	}
-	return sign * w.At(n-1, n-1)
+	return d
 }
 
 func (m Mat) swapRows(i, j int) {
@@ -341,19 +314,25 @@ func (m Mat) Rank() int {
 }
 
 // IsUnimodular reports whether m is square with determinant ±1 (Theorem 1's
-// condition for LG to coincide exactly with the footprint).
+// condition for LG to coincide exactly with the footprint). A determinant
+// beyond int64 is certainly not ±1, so this never panics.
 func (m Mat) IsUnimodular() bool {
 	if !m.IsSquare() {
 		return false
 	}
-	d := m.Det()
-	return d == 1 || d == -1
+	d, err := m.DetChecked()
+	return err == nil && (d == 1 || d == -1)
 }
 
 // IsNonsingular reports whether m is square with nonzero determinant
-// (Theorem 4's weaker condition for rectangular tiles).
+// (Theorem 4's weaker condition for rectangular tiles). A determinant
+// beyond int64 is certainly nonzero, so this never panics.
 func (m Mat) IsNonsingular() bool {
-	return m.IsSquare() && m.Det() != 0
+	if !m.IsSquare() {
+		return false
+	}
+	d, err := m.DetChecked()
+	return err != nil || d != 0
 }
 
 // MaxIndependentCols returns indices of a maximal set of linearly

@@ -20,7 +20,6 @@ import (
 	"fmt"
 
 	"looppart/internal/intmat"
-	"looppart/internal/rational"
 )
 
 // Bounded is a bounded lattice: integer combinations Σ lᵢ·aᵢ of the rows of
@@ -211,12 +210,16 @@ func UnionSize(sets ...[]Point) int64 {
 //
 // If any |uⱼ| exceeds λⱼ the two copies are disjoint and the union is
 // 2·Π(λⱼ+1).
+//
+// Arithmetic saturates at MaxInt64 instead of wrapping: a saturated size
+// still orders correctly against every exact one, which is all the
+// optimizer's comparisons need.
 func UnionSizeModel(bounds []int64, u []int64) int64 {
 	all := int64(1)
 	overlap := int64(1)
 	disjoint := false
 	for j, l := range bounds {
-		all = rational.CheckedMulInt(all, l+1)
+		all = intmat.SatMul(all, l+1)
 		uj := u[j]
 		if uj < 0 {
 			uj = -uj
@@ -224,13 +227,13 @@ func UnionSizeModel(bounds []int64, u []int64) int64 {
 		if uj > l {
 			disjoint = true
 		} else {
-			overlap = rational.CheckedMulInt(overlap, l+1-uj)
+			overlap = intmat.SatMul(overlap, l+1-uj)
 		}
 	}
 	if disjoint {
-		return 2 * all
+		return intmat.SatMul(2, all)
 	}
-	return 2*all - overlap
+	return intmat.SatAdd(intmat.SatMul(2, all), -overlap)
 }
 
 // UnionSizeLinearized is the first-order expansion of Lemma 3 used by the
@@ -239,11 +242,12 @@ func UnionSizeModel(bounds []int64, u []int64) int64 {
 //	Π(λⱼ+1) + Σᵢ |uᵢ|·Π_{j≠i}(λⱼ+1)
 //
 // dropping the higher-order cross terms (the paper's ≈). It upper-bounds
-// the exact union size minus the Π|uᵢ| correction.
+// the exact union size minus the Π|uᵢ| correction. Arithmetic saturates at
+// MaxInt64 (see UnionSizeModel).
 func UnionSizeLinearized(bounds []int64, u []int64) int64 {
 	base := int64(1)
 	for _, l := range bounds {
-		base = rational.CheckedMulInt(base, l+1)
+		base = intmat.SatMul(base, l+1)
 	}
 	total := base
 	for i, ui := range u {
@@ -255,9 +259,9 @@ func UnionSizeLinearized(bounds []int64, u []int64) int64 {
 			if j == i {
 				continue
 			}
-			term = rational.CheckedMulInt(term, l+1)
+			term = intmat.SatMul(term, l+1)
 		}
-		total = rational.CheckedAddInt(total, rational.CheckedMulInt(ui, term))
+		total = intmat.SatAdd(total, intmat.SatMul(ui, term))
 	}
 	return total
 }

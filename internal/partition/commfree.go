@@ -129,6 +129,22 @@ func (s SlabPlan) SlabOf(p []int64, procs int) int {
 	return int(idx)
 }
 
+// SlabPlanFor reconstructs a SlabPlan from its serialized fields (normal,
+// width, comm-free flag) and the iteration space it partitions. The base
+// — the minimum of h·i over the space, which anchors slab indices at
+// zero — is not serialized because it is derivable; recomputing it here
+// keeps SlabOf identical to the plan the search produced.
+func SlabPlanFor(normal []int64, width int64, commFree bool, lo, hi []int64) (SlabPlan, error) {
+	if len(normal) == 0 || len(normal) != len(lo) || len(lo) != len(hi) {
+		return SlabPlan{}, fmt.Errorf("partition: slab normal of dimension %d for a %d-D space", len(normal), len(lo))
+	}
+	if width <= 0 {
+		return SlabPlan{}, fmt.Errorf("partition: non-positive slab width %d", width)
+	}
+	base, _ := hyperplaneRange(normal, lo, hi)
+	return SlabPlan{Normal: normal, Width: width, CommFree: commFree, base: base}, nil
+}
+
 // FindCommFree looks for a communication-free slab partition of the
 // analysis over P processors. It returns ok = false when none exists.
 func FindCommFree(a *footprint.Analysis, procs int, includeReadOnly bool) (SlabPlan, bool) {

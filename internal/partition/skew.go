@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"looppart/internal/footprint"
@@ -9,6 +10,8 @@ import (
 	"looppart/internal/telemetry"
 	"looppart/internal/tile"
 )
+
+const minInt64 = math.MinInt64
 
 // Hyperparallelepiped (skewed) partition search. Rectangular tiles are a
 // special case; the paper motivates the general case with Example 3, where
@@ -81,6 +84,10 @@ type skewClassTerms struct {
 }
 
 // skewTermsFor computes the per-class coefficients for one skew matrix.
+// A class whose coefficients are not representable in int64 (overflow in
+// S·G' or a determinant beyond int64) is left closed=false, so those
+// candidates score through the overflow-checked TileTotalFootprint path
+// instead of a wrapped coefficient.
 func skewTermsFor(ev *footprint.Evaluator, s intmat.Mat) []skewClassTerms {
 	a := ev.Analysis()
 	terms := make([]skewClassTerms, len(a.Classes))
@@ -90,16 +97,33 @@ func skewTermsFor(ev *footprint.Evaluator, s intmat.Mat) []skewClassTerms {
 		if gr.Rows() != gr.Cols() || !gr.IsNonsingular() {
 			continue // enumerated per candidate
 		}
-		sg := s.Mul(gr)
-		spread := c.Reduced.Project(c.Spread())
-		t := skewClassTerms{closed: true, rowCoeff: make([]int64, sg.Rows())}
-		t.volCoeff = abs64(gr.Det())
-		for i := 0; i < sg.Rows(); i++ {
-			t.rowCoeff[i] = abs64(sg.WithRow(i, spread).Det())
+		if t, ok := classTermsFor(c, s, gr); ok {
+			terms[ci] = t
 		}
-		terms[ci] = t
 	}
 	return terms
+}
+
+func classTermsFor(c *footprint.Class, s, gr intmat.Mat) (skewClassTerms, bool) {
+	sg, err := s.MulChecked(gr)
+	if err != nil {
+		return skewClassTerms{}, false
+	}
+	grd, err := gr.DetChecked()
+	if err != nil || grd == minInt64 {
+		return skewClassTerms{}, false
+	}
+	spread := c.Reduced.Project(c.Spread())
+	t := skewClassTerms{closed: true, rowCoeff: make([]int64, sg.Rows())}
+	t.volCoeff = abs64(grd)
+	for i := 0; i < sg.Rows(); i++ {
+		rd, err := sg.WithRow(i, spread).DetChecked()
+		if err != nil || rd == minInt64 {
+			return skewClassTerms{}, false
+		}
+		t.rowCoeff[i] = abs64(rd)
+	}
+	return t, true
 }
 
 func abs64(v int64) int64 {
@@ -166,9 +190,9 @@ func OptimizeSkew(a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, er
 			// terms i ascending; classes in order; worst exactness.
 			total := 0.0
 			for _, t := range terms[si] {
-				total += float64(vol * t.volCoeff)
+				total += float64(intmat.SatMul(vol, t.volCoeff))
 				for k, rc := range t.rowCoeff {
-					total += float64((vol / ext[k]) * rc)
+					total += float64(intmat.SatMul(vol/ext[k], rc))
 				}
 			}
 			c.fp, c.ex = total, footprint.Approximate
@@ -187,9 +211,9 @@ func OptimizeSkew(a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, er
 			if !t.closed {
 				continue
 			}
-			closedPart += float64(vol * t.volCoeff)
+			closedPart += float64(intmat.SatMul(vol, t.volCoeff))
 			for k, rc := range t.rowCoeff {
-				closedPart += float64((vol / ext[k]) * rc)
+				closedPart += float64(intmat.SatMul(vol/ext[k], rc))
 			}
 		}
 		if prune && si != 0 && closedPart > bound.value() {

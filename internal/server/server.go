@@ -4,7 +4,9 @@
 // Endpoints:
 //
 //	POST /v1/plan        {source, params, procs, strategy} → PlanResult
-//	                     (?explain=1 adds the decision trace)
+//	                     (?explain=1 adds the decision trace; ?verify=1
+//	                     re-validates the served plan and wraps it with
+//	                     the self-check report, 500 on failure)
 //	POST /v1/plan/batch  {requests: [...]} → {responses: [...]}
 //	POST /v1/autotune    {source, params, procs, strategy} → tournament
 //	                     result (predicted vs measured per candidate)
@@ -36,6 +38,7 @@ import (
 
 	"looppart"
 	"looppart/internal/telemetry"
+	"looppart/internal/verify"
 )
 
 // Config parameterizes a Server.
@@ -54,6 +57,12 @@ type Config struct {
 	PlanTimeout time.Duration
 	// MaxBodyBytes bounds a request body (default 1 MiB).
 	MaxBodyBytes int64
+	// SelfCheck verifies every served plan as if ?verify=1 were set on the
+	// request (cmd/looppartd -selfcheck): the plan is reconstructed from
+	// its serialized form and re-validated against the iteration space
+	// before it is returned. A plan that fails verification is answered
+	// with 500 and the failing report instead of the plan.
+	SelfCheck bool
 }
 
 // Server routes the planning API. Install via Handler().
@@ -213,9 +222,39 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	sp.SetArg("key", resp.Key)
 	sp.SetArg("cache", resp.Status)
 
+	if s.cfg.SelfCheck || r.URL.Query().Get("verify") == "1" {
+		s.handleVerified(w, req, resp)
+		return
+	}
+
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Plancache", resp.Status)
 	w.Write(resp.Raw)
+}
+
+// verifyResponse wraps a plan result with its self-check report. Result
+// is the canonical plan bytes, unchanged by verification.
+type verifyResponse struct {
+	Result json.RawMessage `json:"result"`
+	Verify *verify.Report  `json:"verify"`
+}
+
+// handleVerified re-validates the served plan (reconstruction, rendering
+// byte-identity, coverage, occupancy, footprint model) before returning
+// it. A failing report is a server error — the service just served a plan
+// it cannot stand behind — so the plan is withheld and the report
+// returned with 500.
+func (s *Server) handleVerified(w http.ResponseWriter, req looppart.PlanRequest, resp *looppart.PlanResponse) {
+	reg := s.cfg.Registry
+	rep := s.cfg.Service.Verify(req, resp.Result)
+	reg.Counter("server.verifies").Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Plancache", resp.Status)
+	if !rep.OK() {
+		reg.Counter("server.verify_failures").Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	json.NewEncoder(w).Encode(verifyResponse{Result: resp.Raw, Verify: rep})
 }
 
 // explainResponse wraps a plan result with its decision trace.

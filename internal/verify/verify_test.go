@@ -1,0 +1,218 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"looppart/internal/footprint"
+	"looppart/internal/intmat"
+	"looppart/internal/loopir"
+	"looppart/internal/telemetry"
+	"looppart/internal/tile"
+)
+
+// The acceptance bar of the differential harness: at least 200 randomized
+// nests, seeded and deterministic, with zero model-vs-enumeration
+// disagreements beyond the documented tolerance.
+func TestDifferentialHarness(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	const want = 220
+	checked := 0
+	rejected := 0
+	var exact, approx int
+	for i := 0; checked < want && i < 4*want; i++ {
+		src := RandomNest(rnd, GenConfig{})
+		res, err := DiffNest(src, DefaultTolerance)
+		if err != nil {
+			if res.Classes == 0 && res.Exact == 0 && res.Approx == 0 {
+				// Parse/analysis rejection (e.g. degenerate nest), not a
+				// verification failure. Keep generating.
+				rejected++
+				continue
+			}
+			t.Fatalf("nest %d disagrees:\n%s\n%v", i, src, err)
+		}
+		checked++
+		exact += res.Exact
+		approx += res.Approx
+	}
+	if checked < want {
+		t.Fatalf("only %d nests checked (want ≥ %d); %d rejected by the pipeline", checked, want, rejected)
+	}
+	if exact == 0 || approx == 0 {
+		t.Errorf("harness coverage skew: %d exact and %d approximate comparisons — both regimes must be exercised", exact, approx)
+	}
+	t.Logf("checked %d nests (%d exact, %d approximate comparisons, %d rejected)", checked, exact, approx, rejected)
+}
+
+// The generator must produce parseable nests essentially always — a high
+// rejection rate silently weakens the harness.
+func TestRandomNestParses(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	bad := 0
+	for i := 0; i < 300; i++ {
+		src := RandomNest(rnd, GenConfig{})
+		if _, err := loopir.Parse(src, nil); err != nil {
+			t.Logf("unparseable: %q: %v", src, err)
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%d/300 generated nests failed to parse", bad)
+	}
+}
+
+func TestLemma3AgainstEnumeration(t *testing.T) {
+	rnd := rand.New(rand.NewSource(11))
+	for i := 0; i < 150; i++ {
+		n := 1 + rnd.Intn(2)
+		d := n + rnd.Intn(2)
+		gen := make([][]int64, n)
+		for r := range gen {
+			gen[r] = make([]int64, d)
+			for c := range gen[r] {
+				gen[r][c] = rnd.Int63n(5) - 2
+			}
+		}
+		bounds := make([]int64, n)
+		u := make([]int64, n)
+		for k := range bounds {
+			bounds[k] = rnd.Int63n(4)
+			u[k] = rnd.Int63n(2*bounds[k]+3) - bounds[k] - 1
+		}
+		if err := UnionSizeAgainstEnumeration(gen, bounds, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTheorem3Randomized(t *testing.T) {
+	rnd := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		n := 1 + rnd.Intn(2)
+		d := n
+		gen := intmat.NewMat(n, d)
+		for r := 0; r < n; r++ {
+			for c := 0; c < d; c++ {
+				gen.Set(r, c, rnd.Int63n(7)-3)
+			}
+		}
+		bounds := make([]int64, n)
+		for k := range bounds {
+			bounds[k] = rnd.Int63n(4)
+		}
+		tvec := make([]int64, d)
+		for k := range tvec {
+			tvec[k] = rnd.Int63n(11) - 5
+		}
+		if err := CheckTheorem3(gen, bounds, tvec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckPlanHappyPath(t *testing.T) {
+	n := loopir.MustParse("doall (i, 0, 7) doall (j, 0, 7) A[i, j] = A[i, j - 1] enddoall enddoall", nil)
+	a, err := footprint.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := tile.BoundsOf(n)
+	tl := tile.Rect(4, 8)
+	tiling, err := tile.NewTiling(tl, space.Lo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := tile.Assign(tiling, space, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	prev := telemetry.SetActive(reg)
+	defer telemetry.SetActive(prev)
+
+	rep := CheckPlan(PlanCheck{
+		Analysis: a,
+		Space:    space,
+		Procs:    2,
+		Assign:   asg.ProcOf,
+		Tile:     &tl,
+	})
+	if !rep.OK() {
+		t.Fatalf("healthy plan failed self-check: %v", rep)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["verify.checks"] == 0 {
+		t.Error("verify.checks counter not incremented")
+	}
+	if snap.Counters["verify.failures"] != 0 {
+		t.Errorf("verify.failures = %d on a healthy plan", snap.Counters["verify.failures"])
+	}
+}
+
+func TestCheckPlanCatchesBadAssignment(t *testing.T) {
+	n := loopir.MustParse("doall (i, 0, 7) A[i] = A[i - 1] enddoall", nil)
+	a, err := footprint.Analyze(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := tile.BoundsOf(n)
+
+	// Out-of-range processor.
+	rep := CheckPlan(PlanCheck{
+		Analysis: a,
+		Space:    space,
+		Procs:    2,
+		Assign:   func(p []int64) int { return 5 },
+	})
+	if rep.OK() {
+		t.Error("out-of-range assignment passed the self-check")
+	}
+
+	// Panicking assignment must be caught, not propagated.
+	rep = CheckPlan(PlanCheck{
+		Space:  space,
+		Procs:  2,
+		Assign: func(p []int64) int { panic("corrupt plan") },
+	})
+	if rep.OK() {
+		t.Error("panicking assignment passed the self-check")
+	}
+}
+
+func TestCheckPlanSamplesLargeSpaces(t *testing.T) {
+	space := tile.Bounds{Lo: []int64{0, 0}, Hi: []int64{999, 999}}
+	calls := 0
+	rep := CheckPlan(PlanCheck{
+		Space:       space,
+		Procs:       4,
+		Assign:      func(p []int64) int { calls++; return int((p[0] + p[1]) % 4) },
+		PointBudget: 1000,
+	})
+	if !rep.OK() {
+		t.Fatalf("sampled check failed: %v", rep)
+	}
+	if calls == 0 || calls > 2000 {
+		t.Errorf("sampling visited %d points for a budget of 1000", calls)
+	}
+}
+
+func TestHNFSNFInvariantsRandomized(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		rows := 1 + rnd.Intn(4)
+		cols := 1 + rnd.Intn(4)
+		m := intmat.NewMat(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				m.Set(r, c, rnd.Int63n(21)-10)
+			}
+		}
+		if err := CheckHNF(m); err != nil {
+			t.Fatalf("matrix %v: %v", m, err)
+		}
+		if err := CheckSNF(m); err != nil {
+			t.Fatalf("matrix %v: %v", m, err)
+		}
+	}
+}

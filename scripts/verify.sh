@@ -28,6 +28,15 @@ go test -race -count=1 \
 echo '== fuzz smoke: loopir parser (10s) =='
 go test -fuzz=FuzzParse -fuzztime=10s -run '^$' ./internal/loopir
 
+echo '== fuzz smoke: footprint model vs enumeration (10s) =='
+go test -fuzz=FuzzRectFootprint -fuzztime=10s -run '^$' ./internal/verify
+
+echo '== fuzz smoke: HNF/SNF contracts (10s) =='
+go test -fuzz=FuzzHNF -fuzztime=10s -run '^$' ./internal/verify
+
+echo '== fuzz smoke: served-plan pipeline (10s) =='
+go test -fuzz=FuzzPlanPipeline -fuzztime=10s -run '^$' .
+
 echo '== smoke: looptune calibration recovers the machine fingerprint =='
 # The sim-calibrated fingerprint must agree with the model constants: the
 # microbenchmarks fit hit/miss/atomic/mesh costs, they do not read them.
@@ -108,9 +117,16 @@ cmp "$smokedir/resp1" "$smokedir/resp2"
 curl -sf "http://$addr/healthz" | grep -q '"status":"ok"'
 curl -sf "http://$addr/metrics" | grep -q '^plancache_hits 1'
 
+# ?verify=1 re-validates the served plan: the response must embed the
+# cached plan bytes unchanged plus a passing verification report.
+curl -sf -o "$smokedir/resp3" \
+	-H 'Content-Type: application/json' --data "$req" "http://$addr/v1/plan?verify=1"
+grep -q '"failures":0' "$smokedir/resp3"
+grep -qF "\"result\":$(cat "$smokedir/resp1")" "$smokedir/resp3"
+
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=
-grep -q 'served 2 requests (1 searches, 1 cache hits)' "$smokedir/daemon.log"
+grep -q 'served 3 requests (1 searches, 2 cache hits)' "$smokedir/daemon.log"
 
 echo 'verify: OK'

@@ -1,0 +1,110 @@
+package looppart
+
+import (
+	"fmt"
+
+	"looppart/internal/intmat"
+	"looppart/internal/partition"
+	"looppart/internal/tile"
+	"looppart/internal/verify"
+)
+
+// SelfCheck validates the plan against the iteration space it claims to
+// cover: every iteration maps to a processor in range, the tiling is a
+// disjoint cover with bounded occupancy, and for enumerable tiles the
+// footprint model agrees with exact enumeration under the documented
+// rules (verify.DefaultTolerance). Large spaces are sampled
+// deterministically; the check never panics. Outcomes feed the
+// verify.checks / verify.failures telemetry counters.
+func (p *Plan) SelfCheck() *verify.Report {
+	return verify.CheckPlan(verify.PlanCheck{
+		Analysis: p.Program.Analysis,
+		Space:    tile.BoundsOf(p.Program.Nest),
+		Procs:    p.Procs,
+		Assign:   p.assign,
+		Tile:     p.Tile,
+	})
+}
+
+// PlanFromResult reconstructs an executable Plan from a served PlanResult
+// — the inverse of the service's encoding. The reconstruction uses only
+// the serialized fields (kind, tile extents or matrix, slab normal and
+// width), so checking the reconstructed plan checks what was actually
+// served, not what the search happened to compute.
+func (pr *Program) PlanFromResult(res *PlanResult) (*Plan, error) {
+	strategy, ok := ParseStrategy(res.Resolved)
+	if !ok {
+		return nil, fmt.Errorf("looppart: served plan has unknown resolved strategy %q", res.Resolved)
+	}
+	if res.Procs < 1 {
+		return nil, fmt.Errorf("looppart: served plan has non-positive processor count %d", res.Procs)
+	}
+	switch res.Kind {
+	case "slab":
+		space := tile.BoundsOf(pr.Nest)
+		sp, err := partition.SlabPlanFor(res.SlabNormal, res.SlabWidth, res.SlabCommFree, space.Lo, space.Hi)
+		if err != nil {
+			return nil, err
+		}
+		procs := res.Procs
+		plan := &Plan{Program: pr, Strategy: strategy, Procs: procs, Slab: &sp}
+		plan.assign = func(p []int64) int { return sp.SlabOf(p, procs) }
+		return plan, nil
+	case "tile":
+		var t tile.Tile
+		switch {
+		case len(res.TileMatrix) > 0:
+			l := intmat.FromRows(res.TileMatrix)
+			if l.Rows() != l.Cols() || !l.IsNonsingular() {
+				return nil, fmt.Errorf("looppart: served tile matrix %v is not square nonsingular", res.TileMatrix)
+			}
+			t = tile.Parallelepiped(l)
+		case len(res.TileExtents) > 0:
+			for _, e := range res.TileExtents {
+				if e <= 0 {
+					return nil, fmt.Errorf("looppart: served tile has non-positive extent %d", e)
+				}
+			}
+			t = tile.Rect(res.TileExtents...)
+		default:
+			return nil, fmt.Errorf("looppart: served tile plan has neither extents nor matrix")
+		}
+		return pr.tilePlan(strategy, res.Procs, t, res.PredictedFootprint, res.PredictedTraffic)
+	default:
+		return nil, fmt.Errorf("looppart: served plan has unknown kind %q", res.Kind)
+	}
+}
+
+// Verify re-validates a served plan: it reconstructs the plan from the
+// serialized result alone, checks that the reconstruction renders
+// byte-identically to the served Rendered string (so the serialized
+// fields really determine the plan), and runs the full SelfCheck. The
+// request must be the one that produced the result (its source is
+// re-parsed to recover the iteration space and reference analysis).
+func (s *Service) Verify(req PlanRequest, res *PlanResult) *verify.Report {
+	rep := &verify.Report{}
+	prog, procs, _, err := s.prepare(req)
+	if err != nil {
+		rep.Fail("reconstruct", "request no longer parses: "+err.Error())
+		return rep
+	}
+	if procs != res.Procs {
+		rep.Fail("reconstruct", fmt.Sprintf("request procs %d != served procs %d", procs, res.Procs))
+		return rep
+	}
+	plan, err := prog.PlanFromResult(res)
+	if err != nil {
+		rep.Fail("reconstruct", err.Error())
+		return rep
+	}
+	rep.Pass("reconstruct")
+	if got := plan.String(); got != res.Rendered {
+		rep.Fail("rendered", fmt.Sprintf("reconstructed plan renders %q, served plan rendered %q", got, res.Rendered))
+	} else {
+		rep.Pass("rendered")
+	}
+	sc := plan.SelfCheck()
+	rep.Checks = append(rep.Checks, sc.Checks...)
+	rep.Failures += sc.Failures
+	return rep
+}
