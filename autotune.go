@@ -1,6 +1,8 @@
 package looppart
 
 import (
+	"context"
+
 	"looppart/internal/autotune"
 	"looppart/internal/telemetry"
 )
@@ -34,10 +36,17 @@ type AutotuneOptions struct {
 // columns, blocks, abraham-hudak) are fixed shapes with no candidate set;
 // they fall through to Partition with a nil Result.
 func (pr *Program) Autotune(procs int, strategy Strategy, opts AutotuneOptions) (*Plan, *autotune.Result, error) {
+	return pr.AutotuneCtx(context.Background(), procs, strategy, opts)
+}
+
+// AutotuneCtx is Autotune with request-scoped tracing: when ctx carries an
+// obs.Trace, the tournament records a "tournament" span (candidates, winner
+// rank, measured misses). Without a trace it behaves exactly like Autotune.
+func (pr *Program) AutotuneCtx(ctx context.Context, procs int, strategy Strategy, opts AutotuneOptions) (*Plan, *autotune.Result, error) {
 	reg := telemetry.Active()
 	switch strategy {
 	case Auto:
-		if plan, err := pr.Partition(procs, CommFree); err == nil {
+		if plan, err := pr.PartitionCtx(ctx, procs, CommFree); err == nil {
 			reg.Emit("strategy.auto", "comm-free", map[string]any{
 				"reason": "a communication-free hyperplane partition exists; no tournament needed",
 			})
@@ -46,9 +55,9 @@ func (pr *Program) Autotune(procs int, strategy Strategy, opts AutotuneOptions) 
 		reg.Emit("strategy.auto", "rect", map[string]any{
 			"reason": "no communication-free partition; tournament over footprint-optimal rectangles",
 		})
-		return pr.Autotune(procs, Rect, opts)
+		return pr.AutotuneCtx(ctx, procs, Rect, opts)
 	case Rect, Skewed:
-		res, err := autotune.RunTournament(pr.Analysis, autotune.TournamentOptions{
+		res, err := autotune.RunTournamentCtx(ctx, pr.Analysis, autotune.TournamentOptions{
 			Procs:       procs,
 			Strategy:    strategy.String(),
 			K:           opts.TopK,
@@ -71,7 +80,7 @@ func (pr *Program) Autotune(procs int, strategy Strategy, opts AutotuneOptions) 
 		}
 		return plan, res, nil
 	default:
-		plan, err := pr.Partition(procs, strategy)
+		plan, err := pr.PartitionCtx(ctx, procs, strategy)
 		return plan, nil, err
 	}
 }

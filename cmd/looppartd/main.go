@@ -23,6 +23,15 @@
 //	                   analytic candidates (0 = pure analytic planning)
 //	-selfcheck         verify every served plan before returning it
 //	                   (equivalent to ?verify=1 on every request)
+//	-slo SPEC          per-route latency objective ROUTE=LATENCY[@TARGET]
+//	                   (e.g. /v1/plan=250ms@0.99; repeatable); breaches
+//	                   surface as /metrics burn-rate gauges + exemplars
+//	-flightrec N       flight-recorder ring size: the last N request
+//	                   records behind GET /debug/flightrec (default 256)
+//	-flightrec-dir DIR snapshot 5xx / SLO-breach records into DIR
+//	-reqlog DEST       structured JSON request log (one line per request,
+//	                   keyed by trace ID): stderr (default), stdout, a
+//	                   file path, or empty to disable
 //	-span-cap N        retained telemetry spans (default 4096)
 //	-event-cap N       retained decision events (default 16384)
 //	-trace FILE        write a Chrome trace on shutdown
@@ -42,6 +51,11 @@
 //	-batch K   send batches of K items instead of single requests
 //	-procs P, -strategy S, -param N=V   the planning request
 //
+// The loadgen reports throughput, cache-hit rate, latency percentiles
+// (p50/p95/p99), and the trace IDs of the slowest requests (join them
+// against the daemon's /debug/flightrec); it exits non-zero if any
+// request failed.
+//
 // The nest argument is a built-in example name, a file, or - for stdin.
 package main
 
@@ -53,10 +67,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -67,6 +83,7 @@ import (
 	"looppart"
 	"looppart/internal/autotune"
 	"looppart/internal/cliflag"
+	"looppart/internal/obs"
 	"looppart/internal/paperex"
 	"looppart/internal/server"
 	"looppart/internal/telemetry"
@@ -87,6 +104,38 @@ func (p paramFlags) Set(s string) error {
 	}
 	p[name] = v
 	return nil
+}
+
+// sloFlags accumulates repeated -slo objectives.
+type sloFlags []obs.Objective
+
+func (f *sloFlags) String() string { return fmt.Sprint([]obs.Objective(*f)) }
+
+func (f *sloFlags) Set(s string) error {
+	o, err := obs.ParseObjective(s)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, o)
+	return nil
+}
+
+// openRequestLog resolves the -reqlog destination.
+func openRequestLog(dest string) (io.Writer, io.Closer, error) {
+	switch dest {
+	case "":
+		return nil, nil, nil
+	case "stderr":
+		return os.Stderr, nil, nil
+	case "stdout":
+		return os.Stdout, nil, nil
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		return f, f, nil
+	}
 }
 
 func main() {
@@ -112,6 +161,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	selfCheck := fs.Bool("selfcheck", false, "verify every served plan before returning it (500 + report on failure)")
 	spanCap := fs.Int("span-cap", 4096, "retained telemetry spans (0 = unbounded)")
 	eventCap := fs.Int("event-cap", 16384, "retained decision events (0 = unbounded)")
+	var sloSpecs sloFlags
+	fs.Var(&sloSpecs, "slo", "latency objective ROUTE=LATENCY[@TARGET], e.g. /v1/plan=250ms@0.99 (repeatable)")
+	flightrecN := fs.Int("flightrec", obs.DefaultRecorderSize, "flight-recorder ring size (last N requests)")
+	flightrecDir := fs.String("flightrec-dir", "", "auto-snapshot 5xx / SLO-breach flight records into this directory")
+	reqlog := fs.String("reqlog", "stderr", "request log destination: stderr, stdout, a file path, or empty to disable")
 	loadgen := fs.Bool("loadgen", false, "drive load at a running daemon instead of serving")
 	url := fs.String("url", "", "loadgen: base URL of the daemon")
 	n := fs.Int("n", 200, "loadgen: total requests")
@@ -121,8 +175,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	strategy := fs.String("strategy", "rect", "loadgen: strategy in the plan request")
 	params := paramFlags{"N": 64, "T": 4}
 	fs.Var(params, "param", "loadgen: loop-bound parameter NAME=VALUE (repeatable)")
-	var obs cliflag.Obs
-	obs.Register(fs)
+	var obsFlags cliflag.Obs
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,7 +192,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("serve mode takes no arguments (use -loadgen to drive load)")
 	}
 
-	reg, err := obs.Setup()
+	reg, err := obsFlags.Setup()
 	if err != nil {
 		return err
 	}
@@ -183,6 +237,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *selfCheck {
 		fmt.Fprintln(out, "looppartd: self-check on: every served plan is re-verified")
 	}
+	recorder := obs.NewRecorder(*flightrecN)
+	if *flightrecDir != "" {
+		if err := recorder.SnapshotTo(*flightrecDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "looppartd: flight-record snapshots to %s\n", *flightrecDir)
+	}
+	slo := obs.NewSLOTracker(sloSpecs...)
+	for _, o := range sloSpecs {
+		fmt.Fprintf(out, "looppartd: SLO %s: %.4g%% under %v\n", o.Route, 100*o.Target, o.Latency)
+	}
+	logw, logc, err := openRequestLog(*reqlog)
+	if err != nil {
+		return err
+	}
+	if logc != nil {
+		defer logc.Close()
+	}
+	var logger *slog.Logger
+	if logw != nil {
+		logger = obs.NewLogger(logw)
+	}
 	srv := server.New(server.Config{
 		Service:      svc,
 		Registry:     reg,
@@ -190,6 +266,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		PlanTimeout:  *timeout,
 		MaxBodyBytes: *maxBody,
 		SelfCheck:    *selfCheck,
+		Logger:       logger,
+		Recorder:     recorder,
+		SLO:          slo,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -229,7 +308,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	st := svc.Stats()
 	fmt.Fprintf(out, "looppartd: served %d requests (%d searches, %d cache hits), bye\n",
 		st.Requests, st.Searches, st.CacheHits)
-	return obs.Flush(reg)
+	return obsFlags.Flush(reg)
 }
 
 // loadgenConfig parameterizes one load-generation run.
@@ -297,19 +376,30 @@ func runLoadgen(ctx context.Context, cfg loadgenConfig, out io.Writer) error {
 	}
 
 	var (
-		next           atomic.Int64
-		okCount        atomic.Int64
-		shed           atomic.Int64
-		failed         atomic.Int64
-		hits           atomic.Int64
-		totalNs, maxNs atomic.Int64
-		firstErr       atomic.Pointer[string]
-		client         = &http.Client{Timeout: 60 * time.Second}
+		next     atomic.Int64
+		okCount  atomic.Int64
+		shed     atomic.Int64
+		failed   atomic.Int64
+		hits     atomic.Int64
+		totalNs  atomic.Int64
+		firstErr atomic.Pointer[string]
+		client   = &http.Client{Timeout: 60 * time.Second}
 	)
 	recordErr := func(msg string) {
 		failed.Add(1)
 		firstErr.CompareAndSwap(nil, &msg)
 	}
+	// Per-request samples for the percentile report and the trace IDs of
+	// the slowest requests (the daemon echoes X-Trace-Id, so a slow
+	// outlier here maps directly to /debug/flightrec?trace=<id>).
+	type sample struct {
+		lat   time.Duration
+		trace string
+	}
+	var (
+		sampleMu sync.Mutex
+		samples  []sample
+	)
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -329,14 +419,11 @@ func runLoadgen(ctx context.Context, cfg loadgenConfig, out io.Writer) error {
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				d := time.Since(t0).Nanoseconds()
-				totalNs.Add(d)
-				for {
-					cur := maxNs.Load()
-					if d <= cur || maxNs.CompareAndSwap(cur, d) {
-						break
-					}
-				}
+				d := time.Since(t0)
+				totalNs.Add(d.Nanoseconds())
+				sampleMu.Lock()
+				samples = append(samples, sample{lat: d, trace: resp.Header.Get("X-Trace-Id")})
+				sampleMu.Unlock()
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					okCount.Add(1)
@@ -359,20 +446,53 @@ func runLoadgen(ctx context.Context, cfg loadgenConfig, out io.Writer) error {
 	if cfg.batch > 0 {
 		kind = fmt.Sprintf("batches of %d", cfg.batch)
 	}
-	fmt.Fprintf(out, "loadgen: %d %s in %v (%.0f/s), %d ok, %d shed, %d failed\n",
+	nonOK := shed.Load() + failed.Load()
+	fmt.Fprintf(out, "loadgen: %d %s in %v (%.0f/s), %d ok, %d non-2xx (%d shed, %d failed)\n",
 		done, kind, wall.Round(time.Millisecond), float64(done)/wall.Seconds(),
-		okCount.Load(), shed.Load(), failed.Load())
-	if ok := okCount.Load(); ok > 0 {
-		fmt.Fprintf(out, "loadgen: cache hits %d/%d (%.0f%%), latency mean %v max %v\n",
-			hits.Load(), ok, 100*float64(hits.Load())/float64(ok),
-			time.Duration(totalNs.Load()/done).Round(time.Microsecond),
-			time.Duration(maxNs.Load()).Round(time.Microsecond))
+		okCount.Load(), nonOK, shed.Load(), failed.Load())
+	if len(samples) > 0 {
+		lats := make([]time.Duration, len(samples))
+		var maxLat time.Duration
+		for i, sm := range samples {
+			lats[i] = sm.lat
+			if sm.lat > maxLat {
+				maxLat = sm.lat
+			}
+		}
+		ps := obs.Percentiles(lats, 50, 95, 99)
+		fmt.Fprintf(out, "loadgen: latency mean %v p50 %v p95 %v p99 %v max %v\n",
+			(time.Duration(totalNs.Load())/time.Duration(len(samples))).Round(time.Microsecond),
+			ps[0].Round(time.Microsecond), ps[1].Round(time.Microsecond),
+			ps[2].Round(time.Microsecond), maxLat.Round(time.Microsecond))
+		if ok := okCount.Load(); ok > 0 {
+			fmt.Fprintf(out, "loadgen: cache hits %d/%d (%.0f%%)\n",
+				hits.Load(), ok, 100*float64(hits.Load())/float64(ok))
+		}
+		// The slowest requests by trace ID: paste one into
+		// GET /debug/flightrec?trace=<id> for the full span tree.
+		sort.Slice(samples, func(i, j int) bool { return samples[i].lat > samples[j].lat })
+		top := samples
+		if len(top) > slowestTraces {
+			top = top[:slowestTraces]
+		}
+		for _, sm := range top {
+			if sm.trace != "" {
+				fmt.Fprintf(out, "loadgen: slow trace %s %v\n", sm.trace, sm.lat.Round(time.Microsecond))
+			}
+		}
 	}
-	if msg := firstErr.Load(); msg != nil {
-		return fmt.Errorf("loadgen: %d requests failed (first: %s)", failed.Load(), *msg)
+	if failed.Load() > 0 {
+		msg := "see statuses above"
+		if m := firstErr.Load(); m != nil {
+			msg = *m
+		}
+		return fmt.Errorf("loadgen: %d requests failed (first: %s)", failed.Load(), msg)
 	}
 	if errors.Is(ctx.Err(), context.Canceled) {
 		return nil
 	}
 	return ctx.Err()
 }
+
+// slowestTraces is how many slowest-request trace IDs the loadgen prints.
+const slowestTraces = 5

@@ -154,6 +154,35 @@ func TestLoadgenAgainstDaemon(t *testing.T) {
 	if !strings.Contains(s, "cache hits 19/20") {
 		t.Errorf("loadgen hit accounting:\n%s", s)
 	}
+	// The latency report carries percentiles, and the slowest requests
+	// are named by the trace ID the daemon echoed, for /debug/flightrec.
+	for _, want := range []string{"0 non-2xx", "p50 ", "p95 ", "p99 ", "loadgen: slow trace "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("loadgen report lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestLoadgenFailedRequestsExitNonZero: a request the daemon rejects
+// (unknown strategy → 422) counts as failed and makes the loadgen's run
+// return an error, so scripted drivers cannot miss a broken workload.
+func TestLoadgenFailedRequestsExitNonZero(t *testing.T) {
+	url, stop := startDaemon(t)
+	defer stop()
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-loadgen", "-url", url, "-n", "4", "-c", "2", "-procs", "8", "-strategy", "nope", "example2",
+	}, &out)
+	if err == nil {
+		t.Fatalf("loadgen with failing requests returned nil error (output: %s)", out.String())
+	}
+	if !strings.Contains(err.Error(), "4 requests failed") {
+		t.Errorf("loadgen error = %v, want the failure count", err)
+	}
+	if !strings.Contains(out.String(), "4 non-2xx (0 shed, 4 failed)") {
+		t.Errorf("loadgen non-2xx accounting:\n%s", out.String())
+	}
 }
 
 func TestLoadgenBatchMode(t *testing.T) {

@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"looppart/internal/exec"
 	"looppart/internal/footprint"
 	"looppart/internal/layout"
+	"looppart/internal/obs"
 	"looppart/internal/partition"
 	"looppart/internal/telemetry"
 	"looppart/internal/tile"
@@ -120,6 +122,14 @@ func (r *Result) Report() string {
 // construction, and autotuning can only confirm or improve, never
 // regress.
 func RunTournament(a *footprint.Analysis, opts TournamentOptions) (*Result, error) {
+	return RunTournamentCtx(context.Background(), a, opts)
+}
+
+// RunTournamentCtx is RunTournament with request-scoped tracing: when ctx
+// carries an obs.Trace, the measured replays run under a "tournament" span
+// recording the candidate count, winner rank, and measured misses, and the
+// underlying top-K analytic search contributes its own search spans.
+func RunTournamentCtx(ctx context.Context, a *footprint.Analysis, opts TournamentOptions) (*Result, error) {
 	if opts.Procs <= 0 {
 		return nil, fmt.Errorf("autotune: need at least one processor")
 	}
@@ -136,6 +146,10 @@ func RunTournament(a *footprint.Analysis, opts TournamentOptions) (*Result, erro
 	if fp.Schema == 0 {
 		fp = ModelFingerprint()
 	}
+	_, osp := obs.StartSpan(ctx, "tournament")
+	defer osp.End()
+	osp.SetAttr("strategy", opts.Strategy)
+	osp.SetAttr("k", opts.K)
 
 	var tiles []tile.Tile
 	var predicted []float64
@@ -257,6 +271,10 @@ func RunTournament(a *footprint.Analysis, opts TournamentOptions) (*Result, erro
 		"candidates": len(res.Candidates),
 	})
 	reg.Counter("autotune.tournaments").Add(1)
+	osp.SetAttr("candidates", int64(len(res.Candidates)))
+	osp.SetAttr("winner_rank", w.Rank)
+	osp.SetAttr("winner_misses", w.MeasuredMisses)
+	osp.SetAttr("improved", res.Improved())
 	if res.Improved() {
 		reg.Counter("autotune.tournaments.improved").Add(1)
 	}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Trace-ID generation: a per-process random prefix read once at startup
+// plus a monotone counter. IDs are unique within a process by the
+// counter and across restarts by the prefix, without a syscall or a
+// random read per request.
+var (
+	idPrefix  = newIDPrefix()
+	idCounter atomic.Uint64
+)
+
+func newIDPrefix() string {
+	var b [6]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Degrade to counter-only uniqueness; tracing must not take the
+		// process down.
+		return "000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewID returns a fresh trace ID, e.g. "f3a91c04be72-000000000001".
+func NewID() string {
+	return fmt.Sprintf("%s-%012x", idPrefix, idCounter.Add(1))
+}
+
+// maxIDLen bounds accepted client-supplied trace IDs.
+const maxIDLen = 128
+
+// SanitizeID validates a client-supplied trace ID (the X-Trace-Id
+// header): printable ASCII without spaces, quotes, or backslashes (so
+// IDs embed safely in log lines, metrics exemplars, and filenames), at
+// most 128 bytes. Returns "" if unusable — the caller generates one.
+func SanitizeID(id string) string {
+	if id == "" || len(id) > maxIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' || c == '/' {
+			return ""
+		}
+	}
+	return id
+}

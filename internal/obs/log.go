@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"time"
+)
+
+// NewLogger returns a structured JSON logger for request logging: one
+// line per record, every line keyed by trace_id so the log joins against
+// the flight recorder and the /metrics exemplars.
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo}))
+}
+
+// LogRecord writes rec as one structured line. Completion level follows
+// the outcome: 5xx → ERROR, 4xx or SLO breach → WARN, else INFO.
+func LogRecord(logger *slog.Logger, rec *Record) {
+	if logger == nil || rec == nil {
+		return
+	}
+	attrs := []any{
+		slog.String("trace_id", rec.TraceID),
+		slog.String("route", rec.Route),
+		slog.Int("status", rec.Status),
+		slog.Duration("latency", time.Duration(rec.LatencyNs)),
+	}
+	if rec.Cache != "" {
+		attrs = append(attrs, slog.String("cache", rec.Cache))
+	}
+	if rec.Key != "" {
+		attrs = append(attrs, slog.String("key", rec.Key))
+	}
+	if rec.SLOBreach {
+		attrs = append(attrs, slog.Bool("slo_breach", true))
+	}
+	if rec.Error != "" {
+		attrs = append(attrs, slog.String("error", rec.Error))
+	}
+	switch {
+	case rec.Status >= 500:
+		logger.Error("request", attrs...)
+	case rec.Status >= 400 || rec.SLOBreach:
+		logger.Warn("request", attrs...)
+	default:
+		logger.Info("request", attrs...)
+	}
+}

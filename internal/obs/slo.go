@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"looppart/internal/telemetry"
+)
+
+// Objective is one route's latency SLO: Target fraction of requests must
+// complete within Latency (e.g. 99% of /v1/plan under 250ms).
+type Objective struct {
+	Route   string        `json:"route"`
+	Latency time.Duration `json:"latency"`
+	Target  float64       `json:"target"`
+}
+
+// DefaultTarget is the objective fraction when a spec names none.
+const DefaultTarget = 0.99
+
+// ParseObjective parses a "-slo" flag spec: ROUTE=LATENCY[@TARGET], e.g.
+// "/v1/plan=250ms@0.99" or "/v1/plan/batch=2s".
+func ParseObjective(spec string) (Objective, error) {
+	route, rest, ok := strings.Cut(spec, "=")
+	if !ok || route == "" {
+		return Objective{}, fmt.Errorf("obs: SLO spec %q is not ROUTE=LATENCY[@TARGET]", spec)
+	}
+	latStr, targetStr, hasTarget := strings.Cut(rest, "@")
+	lat, err := time.ParseDuration(latStr)
+	if err != nil || lat <= 0 {
+		return Objective{}, fmt.Errorf("obs: SLO spec %q has a bad latency: %v", spec, err)
+	}
+	target := DefaultTarget
+	if hasTarget {
+		if target, err = strconv.ParseFloat(targetStr, 64); err != nil || target <= 0 || target >= 1 {
+			return Objective{}, fmt.Errorf("obs: SLO spec %q has a bad target (want 0 < t < 1)", spec)
+		}
+	}
+	return Objective{Route: route, Latency: lat, Target: target}, nil
+}
+
+// sloWindow is how many recent requests the burn rate and percentile
+// gauges are computed over, per route.
+const sloWindow = 1024
+
+// Exemplar names one concrete slow request: the trace ID a dashboard
+// reader can paste into /debug/flightrec to see the whole span tree.
+type Exemplar struct {
+	Route     string        `json:"route"`
+	TraceID   string        `json:"trace_id"`
+	Latency   time.Duration `json:"latency"`
+	Objective time.Duration `json:"objective"`
+	When      time.Time     `json:"when"`
+}
+
+// routeSLO tracks one route's objective.
+type routeSLO struct {
+	obj      Objective
+	total    atomic.Int64
+	breached atomic.Int64
+
+	// Latest breach exemplar (lock-free, last-write-wins).
+	exemplar atomic.Pointer[Exemplar]
+
+	// Sliding window of recent latencies, for burn rate and percentiles.
+	mu     sync.Mutex
+	window [sloWindow]int64
+	n      int // filled entries
+	next   int // ring cursor
+}
+
+// SLOTracker matches request latencies against per-route objectives and
+// derives error-budget burn rates. Safe for concurrent use.
+type SLOTracker struct {
+	mu     sync.RWMutex
+	routes map[string]*routeSLO
+}
+
+// NewSLOTracker returns a tracker with the given objectives installed.
+func NewSLOTracker(objectives ...Objective) *SLOTracker {
+	t := &SLOTracker{routes: make(map[string]*routeSLO, len(objectives))}
+	for _, o := range objectives {
+		t.Set(o)
+	}
+	return t
+}
+
+// Set installs (or replaces) a route objective.
+func (t *SLOTracker) Set(o Objective) {
+	if t == nil || o.Route == "" {
+		return
+	}
+	if o.Target <= 0 || o.Target >= 1 {
+		o.Target = DefaultTarget
+	}
+	t.mu.Lock()
+	t.routes[o.Route] = &routeSLO{obj: o}
+	t.mu.Unlock()
+}
+
+// Objectives returns the installed objectives, sorted by route.
+func (t *SLOTracker) Objectives() []Objective {
+	if t == nil {
+		return nil
+	}
+	t.mu.RLock()
+	out := make([]Objective, 0, len(t.routes))
+	for _, r := range t.routes {
+		out = append(out, r.obj)
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Route < out[j].Route })
+	return out
+}
+
+// Observe records one request against its route's objective. breached
+// reports whether the request exceeded the objective latency; tracked is
+// false when the route has no objective (nothing recorded).
+func (t *SLOTracker) Observe(route string, latency time.Duration, traceID string) (breached, tracked bool) {
+	if t == nil {
+		return false, false
+	}
+	t.mu.RLock()
+	r := t.routes[route]
+	t.mu.RUnlock()
+	if r == nil {
+		return false, false
+	}
+	r.total.Add(1)
+	breached = latency > r.obj.Latency
+	if breached {
+		r.breached.Add(1)
+		r.exemplar.Store(&Exemplar{
+			Route: route, TraceID: traceID,
+			Latency: latency, Objective: r.obj.Latency, When: time.Now(),
+		})
+	}
+	r.mu.Lock()
+	r.window[r.next] = int64(latency)
+	r.next = (r.next + 1) % sloWindow
+	if r.n < sloWindow {
+		r.n++
+	}
+	r.mu.Unlock()
+	return breached, true
+}
+
+// RouteStatus is one route's point-in-time SLO state.
+type RouteStatus struct {
+	Objective Objective `json:"objective"`
+	Total     int64     `json:"total"`
+	Breached  int64     `json:"breached"`
+	// BurnRate is the windowed breach fraction over the error budget
+	// (1 - target): 1.0 = burning the budget exactly, >1 = on course to
+	// miss the SLO, 0 = no recent breaches.
+	BurnRate float64 `json:"burn_rate"`
+	// P50/P95/P99 are windowed latency percentiles.
+	P50, P95, P99 time.Duration `json:"-"`
+	P50Ns         int64         `json:"p50_ns"`
+	P95Ns         int64         `json:"p95_ns"`
+	P99Ns         int64         `json:"p99_ns"`
+	Exemplar      *Exemplar     `json:"exemplar,omitempty"`
+}
+
+// Status returns the per-route SLO states, sorted by route.
+func (t *SLOTracker) Status() []RouteStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.RLock()
+	routes := make([]*routeSLO, 0, len(t.routes))
+	for _, r := range t.routes {
+		routes = append(routes, r)
+	}
+	t.mu.RUnlock()
+	sort.Slice(routes, func(i, j int) bool { return routes[i].obj.Route < routes[j].obj.Route })
+
+	out := make([]RouteStatus, 0, len(routes))
+	for _, r := range routes {
+		st := RouteStatus{
+			Objective: r.obj,
+			Total:     r.total.Load(),
+			Breached:  r.breached.Load(),
+			Exemplar:  r.exemplar.Load(),
+		}
+		r.mu.Lock()
+		lat := make([]int64, r.n)
+		copy(lat, r.window[:r.n])
+		r.mu.Unlock()
+		if len(lat) > 0 {
+			breach := 0
+			for _, l := range lat {
+				if time.Duration(l) > r.obj.Latency {
+					breach++
+				}
+			}
+			frac := float64(breach) / float64(len(lat))
+			st.BurnRate = frac / (1 - r.obj.Target)
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			st.P50 = time.Duration(percentile(lat, 50))
+			st.P95 = time.Duration(percentile(lat, 95))
+			st.P99 = time.Duration(percentile(lat, 99))
+			st.P50Ns, st.P95Ns, st.P99Ns = int64(st.P50), int64(st.P95), int64(st.P99)
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// percentile returns the p-th percentile of sorted (nearest-rank).
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted) + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > len(sorted) {
+		idx = len(sorted)
+	}
+	return sorted[idx-1]
+}
+
+// Percentiles computes nearest-rank percentiles of arbitrary durations
+// (shared with the loadgen's client-side latency report). ps are
+// percents; the input need not be sorted.
+func Percentiles(latencies []time.Duration, ps ...int) []time.Duration {
+	sorted := make([]int64, len(latencies))
+	for i, d := range latencies {
+		sorted[i] = int64(d)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]time.Duration, len(ps))
+	for i, p := range ps {
+		out[i] = time.Duration(percentile(sorted, p))
+	}
+	return out
+}
+
+// Publish mirrors the SLO state into the telemetry registry, one gauge
+// set per route, so /metrics exposes burn rates and windowed
+// percentiles next to the serving counters.
+func (t *SLOTracker) Publish(reg *telemetry.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	for _, st := range t.Status() {
+		prefix := "server.slo." + st.Objective.Route + "."
+		reg.Gauge(prefix + "burn_rate").Set(st.BurnRate)
+		reg.Gauge(prefix + "objective_seconds").Set(st.Objective.Latency.Seconds())
+		reg.Gauge(prefix + "target").Set(st.Objective.Target)
+		reg.Gauge(prefix + "requests").Set(float64(st.Total))
+		reg.Gauge(prefix + "breaches").Set(float64(st.Breached))
+		reg.Gauge(prefix + "p50_seconds").Set(st.P50.Seconds())
+		reg.Gauge(prefix + "p95_seconds").Set(st.P95.Seconds())
+		reg.Gauge(prefix + "p99_seconds").Set(st.P99.Seconds())
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"looppart/internal/telemetry"
+)
+
+func TestParseObjective(t *testing.T) {
+	o, err := ParseObjective("/v1/plan=250ms@0.95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Route != "/v1/plan" || o.Latency != 250*time.Millisecond || o.Target != 0.95 {
+		t.Fatalf("parsed %+v", o)
+	}
+	o, err = ParseObjective("/v1/plan/batch=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Target != DefaultTarget {
+		t.Fatalf("default target = %g, want %g", o.Target, DefaultTarget)
+	}
+	for _, bad := range []string{"", "/v1/plan", "=250ms", "/v1/plan=abc", "/v1/plan=250ms@1.5", "/v1/plan=250ms@x", "/v1/plan=-1s"} {
+		if _, err := ParseObjective(bad); err == nil {
+			t.Errorf("ParseObjective(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestSLOTrackerBurnRateAndExemplar(t *testing.T) {
+	tr := NewSLOTracker(Objective{Route: "/v1/plan", Latency: 10 * time.Millisecond, Target: 0.9})
+
+	// 90 fast + 10 slow = 10% breaches over a 10% budget: burn rate 1.
+	for i := 0; i < 90; i++ {
+		if breached, tracked := tr.Observe("/v1/plan", time.Millisecond, "fast"); breached || !tracked {
+			t.Fatal("fast request misclassified")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if breached, _ := tr.Observe("/v1/plan", 50*time.Millisecond, "slow-trace"); !breached {
+			t.Fatal("slow request not marked breached")
+		}
+	}
+	if _, tracked := tr.Observe("/unknown", time.Second, "x"); tracked {
+		t.Fatal("untracked route reported tracked")
+	}
+
+	sts := tr.Status()
+	if len(sts) != 1 {
+		t.Fatalf("%d statuses, want 1", len(sts))
+	}
+	st := sts[0]
+	if st.Total != 100 || st.Breached != 10 {
+		t.Fatalf("totals = %d/%d, want 100/10", st.Total, st.Breached)
+	}
+	if st.BurnRate < 0.99 || st.BurnRate > 1.01 {
+		t.Fatalf("burn rate = %g, want 1.0", st.BurnRate)
+	}
+	if st.Exemplar == nil || st.Exemplar.TraceID != "slow-trace" {
+		t.Fatalf("exemplar = %+v, want the slow trace", st.Exemplar)
+	}
+	if st.P50 != time.Millisecond || st.P95 != 50*time.Millisecond || st.P99 != 50*time.Millisecond {
+		t.Fatalf("percentiles = %v/%v/%v", st.P50, st.P95, st.P99)
+	}
+}
+
+func TestSLOTrackerWindowSlides(t *testing.T) {
+	tr := NewSLOTracker(Objective{Route: "/r", Latency: 10 * time.Millisecond, Target: 0.99})
+	// Fill the window with breaches, then push them all out with fast
+	// requests: the burn rate must recover even though the cumulative
+	// breach counter keeps history.
+	for i := 0; i < sloWindow; i++ {
+		tr.Observe("/r", time.Second, "slow")
+	}
+	if st := tr.Status()[0]; st.BurnRate < 99 {
+		t.Fatalf("all-breach burn rate = %g, want 1/(1-0.99) = 100", st.BurnRate)
+	}
+	for i := 0; i < sloWindow; i++ {
+		tr.Observe("/r", time.Microsecond, "fast")
+	}
+	st := tr.Status()[0]
+	if st.BurnRate != 0 {
+		t.Fatalf("recovered burn rate = %g, want 0", st.BurnRate)
+	}
+	if st.Breached != sloWindow {
+		t.Fatalf("cumulative breaches = %d, want %d", st.Breached, sloWindow)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i)*time.Millisecond)
+	}
+	ps := Percentiles(lats, 50, 95, 99)
+	if ps[0] != 50*time.Millisecond || ps[1] != 95*time.Millisecond || ps[2] != 99*time.Millisecond {
+		t.Fatalf("percentiles = %v", ps)
+	}
+	if got := Percentiles(nil, 50); got[0] != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got[0])
+	}
+}
+
+func TestSLOPublish(t *testing.T) {
+	tr := NewSLOTracker(Objective{Route: "/v1/plan", Latency: 10 * time.Millisecond, Target: 0.9})
+	tr.Observe("/v1/plan", time.Second, "slow")
+	reg := telemetry.New()
+	tr.Publish(reg)
+	var buf strings.Builder
+	if err := reg.WriteMetricsText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"server_slo__v1_plan_burn_rate", "server_slo__v1_plan_p99_seconds", "server_slo__v1_plan_breaches 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilSLOTrackerSafe(t *testing.T) {
+	var tr *SLOTracker
+	tr.Set(Objective{Route: "/r", Latency: time.Second})
+	if _, tracked := tr.Observe("/r", time.Second, "x"); tracked {
+		t.Fatal("nil tracker tracked a route")
+	}
+	if tr.Status() != nil || tr.Objectives() != nil {
+		t.Fatal("nil tracker must return nil")
+	}
+	tr.Publish(nil)
+}

@@ -9,11 +9,13 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
 
 	"looppart/internal/footprint"
+	"looppart/internal/obs"
 	"looppart/internal/telemetry"
 	"looppart/internal/tile"
 )
@@ -102,6 +104,17 @@ func ContinuousRatiosData(a *footprint.Analysis) (coeffs []float64, ok bool) {
 // pruned by the admissible volume bound; the chosen plan is bit-identical
 // to a sequential scan.
 func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
+	return OptimizeRectCtx(context.Background(), a, procs)
+}
+
+// OptimizeRectCtx is OptimizeRect with request-scoped tracing: when ctx
+// carries an obs.Trace, the search runs under a "search.rect" span whose
+// attributes record the candidate grid count and the evaluated / pruned /
+// infeasible split, plus the winning grid. Without a trace it behaves
+// exactly like OptimizeRect.
+func OptimizeRectCtx(ctx context.Context, a *footprint.Analysis, procs int) (RectPlan, error) {
+	_, sp := obs.StartSpan(ctx, "search.rect")
+	defer sp.End()
 	space := tile.BoundsOf(a.Nest)
 	l := space.Dim()
 	if l == 0 {
@@ -152,6 +165,10 @@ func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
 	reg.Counter("partition.rect.candidates").Add(evaluated.Load())
 	reg.Counter("partition.rect.pruned").Add(pruned.Load())
 	reg.Counter("partition.rect.infeasible").Add(infeasible.Load())
+	sp.SetAttr("candidates", int64(len(grids)))
+	sp.SetAttr("evaluated", evaluated.Load())
+	sp.SetAttr("pruned", pruned.Load())
+	sp.SetAttr("infeasible", infeasible.Load())
 
 	// Deterministic reduction: fold the scored candidates in enumeration
 	// order with the sequential comparison, so the winner (tie-breaks
@@ -182,6 +199,8 @@ func OptimizeRect(a *footprint.Analysis, procs int) (RectPlan, error) {
 	}
 	tr, _ := a.RectTotalTraffic(best.Ext)
 	best.PredictedTraffic = tr
+	sp.SetAttr("grid", fmt.Sprint(best.Grid))
+	sp.SetAttr("footprint", best.PredictedFootprint)
 	if reg != nil {
 		fields := chosenFields(a, best)
 		fields["evaluated"] = evaluated.Load()

@@ -1,12 +1,14 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync/atomic"
 
 	"looppart/internal/footprint"
 	"looppart/internal/intmat"
+	"looppart/internal/obs"
 	"looppart/internal/telemetry"
 	"looppart/internal/tile"
 )
@@ -139,6 +141,16 @@ func abs64(v int64) int64 {
 // the engine's worker pool; the plan is bit-identical to a sequential
 // scan regardless of pool size.
 func OptimizeSkew(a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, error) {
+	return OptimizeSkewCtx(context.Background(), a, procs, maxSkew)
+}
+
+// OptimizeSkewCtx is OptimizeSkew with request-scoped tracing: when ctx
+// carries an obs.Trace, the search runs under a "search.skewed" span
+// recording the candidate count, the evaluated/pruned split, and the
+// winning tile. Without a trace it behaves exactly like OptimizeSkew.
+func OptimizeSkewCtx(ctx context.Context, a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, error) {
+	_, sp := obs.StartSpan(ctx, "search.skewed")
+	defer sp.End()
 	space := tile.BoundsOf(a.Nest)
 	l := space.Dim()
 	if l == 0 {
@@ -229,6 +241,10 @@ func OptimizeSkew(a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, er
 	})
 	reg.Counter("partition.skew.candidates").Add(evaluated.Load())
 	reg.Counter("partition.skew.pruned").Add(pruned.Load())
+	sp.SetAttr("candidates", int64(n))
+	sp.SetAttr("evaluated", evaluated.Load())
+	sp.SetAttr("pruned", pruned.Load())
+	sp.SetAttr("skews", int64(ns))
 
 	// Deterministic reduction in enumeration order: first strict
 	// improvement wins, exactly as the sequential scan chose.
@@ -266,6 +282,8 @@ func OptimizeSkew(a *footprint.Analysis, procs int, maxSkew int64) (SkewPlan, er
 		return SkewPlan{}, fmt.Errorf("partition: no feasible tile of volume %d", vol)
 	}
 	best.RectBaseline = bestRect
+	sp.SetAttr("tile", best.Tile.String())
+	sp.SetAttr("footprint", best.PredictedFootprint)
 	if reg != nil {
 		// candidates reports this run's evaluations, not the cumulative
 		// process-wide counter (which spans successive optimizer runs).

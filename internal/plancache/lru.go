@@ -2,6 +2,7 @@ package plancache
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 
 	"looppart/internal/telemetry"
@@ -31,8 +32,9 @@ type Cache struct {
 }
 
 type entry struct {
-	key string
-	val []byte
+	key  string
+	val  []byte
+	hits int64
 }
 
 // NewCache returns a cache bounded at maxBytes (DefaultMaxBytes when
@@ -60,7 +62,9 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
-	val := el.Value.(*entry).val
+	e := el.Value.(*entry)
+	e.hits++
+	val := e.val
 	c.mu.Unlock()
 	telemetry.Active().Counter("plancache.hits").Add(1)
 	return val, true
@@ -133,4 +137,40 @@ func (s Stats) HitRatio() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// KeyStat is one cached entry's hot-key accounting: how often the entry
+// was served since admission and how many bytes it occupies. Hits are
+// per-entry — eviction and re-admission reset them, which is the number
+// a hot-key tier would actually shard on.
+type KeyStat struct {
+	Key   string `json:"key"`
+	Hits  int64  `json:"hits"`
+	Bytes int64  `json:"bytes"`
+}
+
+// TopKeys returns the k most-hit entries, most-hit first (ties broken by
+// key for a deterministic dump). An O(n log n) scan under the lock: this
+// feeds the /debug/cache endpoint, not a serving path.
+func (c *Cache) TopKeys(k int) []KeyStat {
+	if k <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	all := make([]KeyStat, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		all = append(all, KeyStat{Key: e.key, Hits: e.hits, Bytes: int64(len(e.key)+len(e.val)) + entryOverhead})
+	}
+	c.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Hits != all[j].Hits {
+			return all[i].Hits > all[j].Hits
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
 }

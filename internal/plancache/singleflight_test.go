@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"looppart/internal/obs"
 )
 
 // TestGroupCollapsesConcurrentCalls proves real dedup: the leader's fn
@@ -32,7 +34,7 @@ func TestGroupCollapsesConcurrentCalls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-joined
-			v, shared, err := g.Do(context.Background(), "key", fn)
+			v, shared, _, err := g.Do(context.Background(), "key", fn)
 			if err != nil || string(v) != "plan" {
 				t.Errorf("Do = %q, %v", v, err)
 			}
@@ -62,7 +64,7 @@ func TestGroupSequentialCallsRunSeparately(t *testing.T) {
 	var runs atomic.Int64
 	fn := func() ([]byte, error) { runs.Add(1); return nil, nil }
 	for i := 0; i < 3; i++ {
-		if _, shared, err := g.Do(context.Background(), "k", fn); err != nil || shared {
+		if _, shared, _, err := g.Do(context.Background(), "k", fn); err != nil || shared {
 			t.Fatalf("Do #%d: shared=%v err=%v", i, shared, err)
 		}
 	}
@@ -74,9 +76,67 @@ func TestGroupSequentialCallsRunSeparately(t *testing.T) {
 func TestGroupPropagatesError(t *testing.T) {
 	var g Group
 	boom := errors.New("boom")
-	_, _, err := g.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom })
+	_, _, _, err := g.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom })
 	if !errors.Is(err, boom) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestGroupOwnerTraceAndFlights: waiters joining a flight learn the
+// owner's trace ID, and Flights() exposes the live flight with its
+// waiter count while the flight is held open.
+func TestGroupOwnerTraceAndFlights(t *testing.T) {
+	var g Group
+	ownerCtx := obs.WithTrace(context.Background(), obs.NewTrace("owner-trace-1", "root"))
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	ownerDone := make(chan string, 1)
+	go func() {
+		_, _, ot, _ := g.Do(ownerCtx, "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("v"), nil
+		})
+		ownerDone <- ot
+	}()
+	<-started
+
+	waiterDone := make(chan string, 1)
+	go func() {
+		_, shared, ot, _ := g.Do(context.Background(), "k", func() ([]byte, error) {
+			t.Error("waiter fn must not run")
+			return nil, nil
+		})
+		if !shared {
+			t.Error("waiter not marked shared")
+		}
+		waiterDone <- ot
+	}()
+	for g.Dedups() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	fl := g.Flights()
+	if len(fl) != 1 || fl[0].Key != "k" || fl[0].OwnerTrace != "owner-trace-1" {
+		t.Fatalf("Flights() = %+v, want one flight for k owned by owner-trace-1", fl)
+	}
+	if fl[0].Waiters != 1 {
+		t.Fatalf("flight waiters = %d, want 1", fl[0].Waiters)
+	}
+	if fl[0].AgeNs <= 0 {
+		t.Fatalf("flight age = %d, want > 0", fl[0].AgeNs)
+	}
+
+	close(release)
+	if ot := <-ownerDone; ot != "owner-trace-1" {
+		t.Fatalf("owner saw ownerTrace %q", ot)
+	}
+	if ot := <-waiterDone; ot != "owner-trace-1" {
+		t.Fatalf("waiter saw ownerTrace %q, want owner-trace-1", ot)
+	}
+	if fl := g.Flights(); len(fl) != 0 {
+		t.Fatalf("flights after completion = %+v, want none", fl)
 	}
 }
 
@@ -91,7 +151,7 @@ func TestGroupContextLeavesFlightRunning(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, _, err := g.Do(ctx, "k", func() ([]byte, error) {
+		_, _, _, err := g.Do(ctx, "k", func() ([]byte, error) {
 			<-release
 			close(finished)
 			return []byte("x"), nil

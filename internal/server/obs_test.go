@@ -1,0 +1,522 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"looppart"
+	"looppart/internal/obs"
+	"looppart/internal/telemetry"
+)
+
+// syncBuffer is a concurrency-safe bytes.Buffer: the request logger
+// writes from server goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitRecord polls the flight recorder for a trace's record. The
+// middleware publishes the record after the response body is written, so
+// the client can observe the response before the record lands.
+func waitRecord(t *testing.T, rec *obs.Recorder, trace string) *obs.Record {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, r := range rec.Records() {
+			if r.TraceID == trace {
+				return r
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("no flight record for trace %q", trace)
+	return nil
+}
+
+// attrNum reads a numeric span attribute regardless of whether it
+// arrived as a live int (in-process snapshot) or a float64 (JSON).
+func attrNum(t *testing.T, sp *obs.SpanSnapshot, key string) float64 {
+	t.Helper()
+	if sp == nil {
+		t.Fatalf("attrNum(%q): nil span", key)
+	}
+	switch v := sp.Attrs[key].(type) {
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	case float64:
+		return v
+	default:
+		t.Fatalf("span %q attr %q = %v (%T), want a number", sp.Name, key, v, v)
+		return 0
+	}
+}
+
+// TestServerObservabilityEndToEnd is the acceptance-criterion test: a
+// slow ?verify=1 cache-miss request is reconstructable end-to-end from
+// observability output alone — the trace ID appears in the structured
+// log, in the /metrics exemplar, and in the /debug/flightrec record
+// whose span tree shows cache-miss → singleflight-owner → search (with
+// candidate counts) → store-persist → verify, with non-zero durations.
+func TestServerObservabilityEndToEnd(t *testing.T) {
+	const traceID = "e2e-trace-01"
+	logBuf := &syncBuffer{}
+	recorder := obs.NewRecorder(64)
+	// A 1ns objective makes every request a breach, so the exemplar and
+	// burn-rate paths are exercised deterministically.
+	slo := obs.NewSLOTracker(obs.Objective{Route: "/v1/plan", Latency: time.Nanosecond, Target: 0.99})
+	_, ts := newTestServer(t, Config{
+		Service:  looppart.NewService(looppart.ServiceOptions{}),
+		Registry: telemetry.New(),
+		Logger:   obs.NewLogger(logBuf),
+		Recorder: recorder,
+		SLO:      slo,
+	})
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan?verify=1", bytes.NewReader(planBody("rect", 16)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != traceID {
+		t.Errorf("X-Trace-Id echoed %q, want %q", got, traceID)
+	}
+	if got := resp.Header.Get("X-Plancache"); got != "miss" {
+		t.Errorf("X-Plancache = %q, want miss", got)
+	}
+
+	// 1. The flight record, through the HTTP endpoint (exact-trace filter).
+	waitRecord(t, recorder, traceID)
+	fr, err := http.Get(ts.URL + "/debug/flightrec?trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frBody, _ := io.ReadAll(fr.Body)
+	fr.Body.Close()
+	if fr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flightrec status %d: %s", fr.StatusCode, frBody)
+	}
+	var frResp flightrecResponse
+	if err := json.Unmarshal(frBody, &frResp); err != nil {
+		t.Fatalf("flightrec response: %v\n%s", err, frBody)
+	}
+	if frResp.Matched != 1 || len(frResp.Records) != 1 {
+		t.Fatalf("matched %d records, want 1:\n%s", frResp.Matched, frBody)
+	}
+	rec := frResp.Records[0]
+	if rec.Route != "/v1/plan" || rec.Status != 200 || rec.Cache != "miss" {
+		t.Errorf("record route/status/cache = %q/%d/%q", rec.Route, rec.Status, rec.Cache)
+	}
+	if rec.Key == "" {
+		t.Error("record lacks the canonical plan key")
+	}
+	if rec.LatencyNs <= 0 {
+		t.Errorf("record latency = %d, want > 0", rec.LatencyNs)
+	}
+	if !rec.SLOBreach {
+		t.Error("record not marked as SLO breach under a 1ns objective")
+	}
+	if rec.DroppedSpans != 0 || rec.DroppedAttrs != 0 {
+		t.Errorf("drops = %d spans / %d attrs, want none", rec.DroppedSpans, rec.DroppedAttrs)
+	}
+
+	// 2. The span tree: cache-miss → singleflight-owner → search
+	// (candidates evaluated/pruned) → store-persist → verify.
+	root := rec.Spans
+	if root == nil || root.Name != "server.plan" {
+		t.Fatalf("root span = %+v, want server.plan", root)
+	}
+	if got := attrNum(t, root, "status"); got != 200 {
+		t.Errorf("root status attr = %g", got)
+	}
+	chain := map[string]*obs.SpanSnapshot{}
+	for _, name := range []string{"cache.lookup", "singleflight", "search", "search.rect", "store.persist", "verify"} {
+		sp := root.Find(name)
+		if sp == nil {
+			t.Fatalf("span %q missing from tree:\n%s", name, frBody)
+		}
+		if sp.DurNs <= 0 {
+			t.Errorf("span %q duration = %dns, want > 0", name, sp.DurNs)
+		}
+		chain[name] = sp
+	}
+	if got := chain["cache.lookup"].Attrs["outcome"]; got != "miss" {
+		t.Errorf("cache.lookup outcome = %v, want miss", got)
+	}
+	if got := chain["singleflight"].Attrs["role"]; got != "owner" {
+		t.Errorf("singleflight role = %v, want owner", got)
+	}
+	if got := chain["search"].Attrs["strategy"]; got != "rect" {
+		t.Errorf("search strategy = %v, want rect", got)
+	}
+	if chain["singleflight"].Find("search") == nil {
+		t.Error("search span is not nested under the singleflight span")
+	}
+	if got := attrNum(t, chain["search.rect"], "evaluated"); got <= 0 {
+		t.Errorf("search.rect evaluated = %g, want > 0", got)
+	}
+	if _, ok := chain["search.rect"].Attrs["pruned"]; !ok {
+		t.Error("search.rect lacks the pruned attribute")
+	}
+	if got := attrNum(t, chain["store.persist"], "bytes"); got <= 0 {
+		t.Errorf("store.persist bytes = %g, want > 0", got)
+	}
+	if got := chain["verify"].Attrs["ok"]; got != true {
+		t.Errorf("verify ok = %v, want true", got)
+	}
+	if got := attrNum(t, chain["verify"], "checks"); got <= 0 {
+		t.Errorf("verify checks = %g, want > 0", got)
+	}
+
+	// 3. The structured log line, keyed by the same trace ID. The breach
+	// makes it a WARN.
+	var logged map[string]any
+	sc := bufio.NewScanner(strings.NewReader(logBuf.String()))
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("log line not JSON: %v\n%s", err, sc.Text())
+		}
+		if line["trace_id"] == traceID {
+			logged = line
+		}
+	}
+	if logged == nil {
+		t.Fatalf("no log line with trace_id %q:\n%s", traceID, logBuf.String())
+	}
+	if logged["route"] != "/v1/plan" || logged["cache"] != "miss" || logged["level"] != "WARN" {
+		t.Errorf("log line route/cache/level = %v/%v/%v", logged["route"], logged["cache"], logged["level"])
+	}
+	if logged["slo_breach"] != true {
+		t.Errorf("log line slo_breach = %v", logged["slo_breach"])
+	}
+
+	// 4. The /metrics exemplar comment names the same trace.
+	m, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mBody, _ := io.ReadAll(m.Body)
+	m.Body.Close()
+	if ct := m.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	wantExemplar := fmt.Sprintf("# EXEMPLAR server_slo__v1_plan_breach trace_id=%q", traceID)
+	for _, want := range []string{wantExemplar, "server_slo__v1_plan_burn_rate", "server_slo__v1_plan_p99_seconds"} {
+		if !strings.Contains(string(mBody), want) {
+			t.Errorf("metrics lack %q:\n%s", want, mBody)
+		}
+	}
+
+	// 5. /debug/slo reports the breach with the exemplar, /debug/cache the
+	// filled cache and hot key.
+	sr, err := http.Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srBody, _ := io.ReadAll(sr.Body)
+	sr.Body.Close()
+	var sloResp sloResponse
+	if err := json.Unmarshal(srBody, &sloResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(sloResp.Routes) != 1 || sloResp.Routes[0].Breached < 1 || sloResp.Routes[0].BurnRate <= 0 {
+		t.Errorf("/debug/slo = %s", srBody)
+	}
+	if ex := sloResp.Routes[0].Exemplar; ex == nil || ex.TraceID != traceID {
+		t.Errorf("/debug/slo exemplar = %+v, want trace %q", sloResp.Routes[0].Exemplar, traceID)
+	}
+	cr, err := http.Get(ts.URL + "/debug/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crBody, _ := io.ReadAll(cr.Body)
+	cr.Body.Close()
+	var cacheResp debugCacheResponse
+	if err := json.Unmarshal(crBody, &cacheResp); err != nil {
+		t.Fatal(err)
+	}
+	if cacheResp.Cache.Entries != 1 || cacheResp.Cache.Bytes <= 0 {
+		t.Errorf("/debug/cache entries/bytes = %d/%d", cacheResp.Cache.Entries, cacheResp.Cache.Bytes)
+	}
+	if len(cacheResp.TopKeys) != 1 || cacheResp.TopKeys[0].Key != rec.Key {
+		t.Errorf("/debug/cache top_keys = %+v, want key %q", cacheResp.TopKeys, rec.Key)
+	}
+}
+
+// TestServerParallelTracesDisjoint (run under -race in CI): K parallel
+// requests with distinct bodies produce K disjoint span trees — every
+// record's key, root span, and search parameters match its own request,
+// with no attribute bleed between concurrent traces.
+func TestServerParallelTracesDisjoint(t *testing.T) {
+	procs := []int{4, 9, 16, 25, 36, 49}
+	K := len(procs)
+	recorder := obs.NewRecorder(2 * K)
+	_, ts := newTestServer(t, Config{
+		Service:     looppart.NewService(looppart.ServiceOptions{}),
+		Registry:    telemetry.New(),
+		Recorder:    recorder,
+		MaxInflight: K,
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(K)
+	for i := 0; i < K; i++ {
+		go func(i int) {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(planBody("rect", procs[i])))
+			req.Header.Set("X-Trace-Id", fmt.Sprintf("par-trace-%d", i))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	seenKeys := map[string]string{}
+	for i := 0; i < K; i++ {
+		traceID := fmt.Sprintf("par-trace-%d", i)
+		rec := waitRecord(t, recorder, traceID)
+		if rec.Cache != "miss" {
+			t.Errorf("trace %s: cache = %q, want miss (keys are distinct)", traceID, rec.Cache)
+		}
+		if prev, dup := seenKeys[rec.Key]; dup {
+			t.Errorf("traces %s and %s share key %q", prev, traceID, rec.Key)
+		}
+		seenKeys[rec.Key] = traceID
+
+		root := rec.Spans
+		if root == nil || root.Name != "server.plan" {
+			t.Fatalf("trace %s: root span %+v", traceID, root)
+		}
+		if got, _ := root.Attrs["key"].(string); got != rec.Key {
+			t.Errorf("trace %s: root key attr %q != record key %q", traceID, got, rec.Key)
+		}
+		// Exactly one search, and it is this request's own: distinct keys
+		// mean every request owns its flight, and the procs attribute must
+		// match the body this trace sent — any other value would be bleed
+		// from a sibling request.
+		var searches int
+		root.Walk(func(sp *obs.SpanSnapshot) {
+			if sp.Name == "search" {
+				searches++
+				if got := attrNum(t, sp, "procs"); got != float64(procs[i]) {
+					t.Errorf("trace %s: search procs = %g, want %d", traceID, got, procs[i])
+				}
+			}
+		})
+		if searches != 1 {
+			t.Errorf("trace %s: %d search spans, want 1", traceID, searches)
+		}
+		if sf := root.Find("singleflight"); sf == nil || sf.Attrs["role"] != "owner" {
+			t.Errorf("trace %s: singleflight span = %+v, want role owner", traceID, sf)
+		}
+	}
+}
+
+// TestServerCoalescedWaiterLinksOwner (run under -race in CI): K
+// concurrent identical requests collapse onto one search; the K−1
+// coalesced waiters' singleflight spans carry the owner's trace ID, so
+// a waiter's flight record links to the trace that ran the search.
+func TestServerCoalescedWaiterLinksOwner(t *testing.T) {
+	const K = 8
+	recorder := obs.NewRecorder(2 * K)
+	var barrier sync.WaitGroup
+	barrier.Add(K)
+	s, ts := newTestServer(t, Config{
+		Service:     looppart.NewService(looppart.ServiceOptions{}),
+		Registry:    telemetry.New(),
+		Recorder:    recorder,
+		MaxInflight: K,
+	})
+	s.testPlanGate = func() {
+		barrier.Done()
+		barrier.Wait()
+	}
+
+	// The 3-D skewed search runs for hundreds of milliseconds, so the K−1
+	// requests released by the barrier alongside the owner reliably join
+	// its flight instead of finding the cache already filled.
+	req := looppart.PlanRequest{
+		Source: "doall (i, 1, 64)\n doall (j, 1, 64)\n  doall (k, 1, 64)\n   A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3]\n  enddoall\n enddoall\nenddoall",
+		Procs:  64, Strategy: "skewed",
+	}
+	body, _ := json.Marshal(req)
+	var wg sync.WaitGroup
+	wg.Add(K)
+	for i := 0; i < K; i++ {
+		go func(i int) {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(body))
+			req.Header.Set("X-Trace-Id", fmt.Sprintf("co-trace-%d", i))
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+
+	var ownerTrace string
+	records := make([]*obs.Record, 0, K)
+	for i := 0; i < K; i++ {
+		rec := waitRecord(t, recorder, fmt.Sprintf("co-trace-%d", i))
+		records = append(records, rec)
+		if rec.Cache == "miss" {
+			if ownerTrace != "" {
+				t.Errorf("two owners: %s and %s", ownerTrace, rec.TraceID)
+			}
+			ownerTrace = rec.TraceID
+		}
+	}
+	if ownerTrace == "" {
+		t.Fatal("no cache-miss record — no request owned the search")
+	}
+	for _, rec := range records {
+		sf := rec.Spans.Find("singleflight")
+		if sf == nil {
+			t.Errorf("trace %s: no singleflight span", rec.TraceID)
+			continue
+		}
+		if rec.TraceID == ownerTrace {
+			if sf.Attrs["role"] != "owner" || sf.Find("search") == nil {
+				t.Errorf("owner %s: role=%v, search span present=%v",
+					rec.TraceID, sf.Attrs["role"], sf.Find("search") != nil)
+			}
+			continue
+		}
+		if rec.Cache != "dedup" {
+			t.Errorf("trace %s: cache = %q, want dedup", rec.TraceID, rec.Cache)
+		}
+		if sf.Attrs["role"] != "waiter" {
+			t.Errorf("waiter %s: role = %v", rec.TraceID, sf.Attrs["role"])
+		}
+		if got, _ := sf.Attrs["owner_trace"].(string); got != ownerTrace {
+			t.Errorf("waiter %s: owner_trace = %q, want %q", rec.TraceID, got, ownerTrace)
+		}
+		// The waiter did not run the search; its tree must not contain one.
+		if sf.Find("search") != nil {
+			t.Errorf("waiter %s has a search span — attribute bleed from the owner", rec.TraceID)
+		}
+	}
+}
+
+// TestServerFlightrecFilters exercises the /debug/flightrec query
+// surface over a mixed request history.
+func TestServerFlightrecFilters(t *testing.T) {
+	recorder := obs.NewRecorder(16)
+	_, ts := newTestServer(t, Config{
+		Service:  looppart.NewService(looppart.ServiceOptions{}),
+		Registry: telemetry.New(),
+		Recorder: recorder,
+	})
+
+	if resp, _ := postPlan(t, ts.URL, planBody("rect", 16)); resp.StatusCode != 200 {
+		t.Fatalf("good request status %d", resp.StatusCode)
+	}
+	okTrace := ""
+	if resp, _ := postPlan(t, ts.URL, planBody("nope", 16)); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad request status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(recorder.Records()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, rec := range recorder.Records() {
+		if rec.Status == 200 {
+			okTrace = rec.TraceID
+		}
+	}
+	if okTrace == "" {
+		t.Fatal("no 200 record")
+	}
+
+	get := func(query string) flightrecResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/flightrec" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", query, resp.StatusCode)
+		}
+		var fr flightrecResponse
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			t.Fatal(err)
+		}
+		return fr
+	}
+
+	if fr := get(""); fr.Matched != 2 || fr.Stats.Recorded != 2 || fr.Stats.Capacity != 16 {
+		t.Errorf("unfiltered: matched %d, stats %+v", fr.Matched, fr.Stats)
+	}
+	if fr := get("?status=422"); fr.Matched != 1 || fr.Records[0].Status != 422 {
+		t.Errorf("status filter: %+v", fr)
+	}
+	if fr := get("?class=4"); fr.Matched != 1 {
+		t.Errorf("class filter matched %d", fr.Matched)
+	}
+	if fr := get("?trace=" + okTrace); fr.Matched != 1 || fr.Records[0].TraceID != okTrace {
+		t.Errorf("trace filter: %+v", fr)
+	}
+	if fr := get("?n=1"); fr.Matched != 2 || len(fr.Records) != 1 {
+		t.Errorf("limit: matched %d, returned %d", fr.Matched, len(fr.Records))
+	}
+	if fr := get("?min_latency=10h"); fr.Matched != 0 {
+		t.Errorf("min_latency filter matched %d", fr.Matched)
+	}
+	// The 422 record carries the error and no key.
+	if fr := get("?status=422"); fr.Records[0].Error == "" {
+		t.Error("422 record lacks the error attribute")
+	}
+	for _, bad := range []string{"?status=abc", "?class=x", "?min_latency=zzz", "?n=0"} {
+		resp, err := http.Get(ts.URL + "/debug/flightrec" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

@@ -11,12 +11,24 @@
 //	POST /v1/autotune    {source, params, procs, strategy} → tournament
 //	                     result (predicted vs measured per candidate)
 //	GET  /healthz        liveness probe
-//	GET  /metrics        Prometheus-style text exposition of the registry
+//	GET  /metrics        Prometheus text exposition of the registry, plus
+//	                     per-route SLO gauges and # EXEMPLAR trace-ID lines
+//	GET  /debug/flightrec  flight-recorder dump (filter by trace, key,
+//	                     status, class, min_latency, breach; limit with n)
+//	GET  /debug/cache    plan-cache occupancy, top-K hot keys, and live
+//	                     singleflight flights with waiter counts
+//	GET  /debug/slo      per-route objectives, percentiles, burn rates
 //
 // The response body of a non-explain /v1/plan is exactly the cached
 // PlanResult JSON, so a hit is byte-identical to the miss that filled it;
 // how the request was served travels out of band in the X-Plancache
 // header (miss | hit | dedup | bypass).
+//
+// Every planning route runs under the request-tracing middleware
+// (obs.go): the request's trace ID — accepted from X-Trace-Id or
+// generated, always echoed back — keys a span tree of the pipeline
+// stages, the flight-recorder record, the structured request log line,
+// and the SLO bookkeeping.
 //
 // Admission control: a bounded in-flight semaphore sheds planning load
 // with 429 + Retry-After once MaxInflight requests are being served;
@@ -31,12 +43,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	"looppart"
+	"looppart/internal/obs"
 	"looppart/internal/telemetry"
 	"looppart/internal/verify"
 )
@@ -63,6 +77,17 @@ type Config struct {
 	// before it is returned. A plan that fails verification is answered
 	// with 500 and the failing report instead of the plan.
 	SelfCheck bool
+
+	// Logger receives one structured JSON line per completed planning
+	// request, keyed by trace ID (obs.NewLogger). Nil disables request
+	// logging.
+	Logger *slog.Logger
+	// Recorder is the flight recorder behind /debug/flightrec. Nil gets a
+	// default-sized ring, so the endpoint always works.
+	Recorder *obs.Recorder
+	// SLO matches request latencies against per-route objectives and
+	// feeds the /metrics burn-rate gauges. May be nil (no SLO tracking).
+	SLO *obs.SLOTracker
 }
 
 // Server routes the planning API. Install via Handler().
@@ -97,16 +122,22 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.NewRecorder(0)
+	}
 	s := &Server{
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.MaxInflight),
 		mux: http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/v1/plan", s.handlePlan)
-	s.mux.HandleFunc("/v1/plan/batch", s.handleBatch)
-	s.mux.HandleFunc("/v1/autotune", s.handleAutotune)
+	s.mux.HandleFunc("/v1/plan", s.traced("/v1/plan", s.handlePlan))
+	s.mux.HandleFunc("/v1/plan/batch", s.traced("/v1/plan/batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/autotune", s.traced("/v1/autotune", s.handleAutotune))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/flightrec", s.handleFlightrec)
+	s.mux.HandleFunc("/debug/cache", s.handleDebugCache)
+	s.mux.HandleFunc("/debug/slo", s.handleDebugSLO)
 	return s
 }
 
@@ -214,16 +245,17 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.plan(r.Context(), req)
 	if err != nil {
 		reg.Counter("server.errors").Add(1)
-		writeError(w, planStatus(err), err.Error())
+		s.fail(w, r, planStatus(err), err.Error())
 		return
 	}
 	reg.Histogram("server.plan.latency").Observe(time.Since(start))
 	s.publishCacheGauges()
 	sp.SetArg("key", resp.Key)
 	sp.SetArg("cache", resp.Status)
+	obs.TraceFrom(r.Context()).Root().SetAttr("cache", resp.Status)
 
 	if s.cfg.SelfCheck || r.URL.Query().Get("verify") == "1" {
-		s.handleVerified(w, req, resp)
+		s.handleVerified(w, r, req, resp)
 		return
 	}
 
@@ -244,14 +276,21 @@ type verifyResponse struct {
 // it. A failing report is a server error — the service just served a plan
 // it cannot stand behind — so the plan is withheld and the report
 // returned with 500.
-func (s *Server) handleVerified(w http.ResponseWriter, req looppart.PlanRequest, resp *looppart.PlanResponse) {
+func (s *Server) handleVerified(w http.ResponseWriter, r *http.Request, req looppart.PlanRequest, resp *looppart.PlanResponse) {
 	reg := s.cfg.Registry
+	_, vsp := obs.StartSpan(r.Context(), "verify")
 	rep := s.cfg.Service.Verify(req, resp.Result)
+	vsp.SetAttr("ok", rep.OK())
+	vsp.SetAttr("checks", len(rep.Checks))
+	vsp.End()
 	reg.Counter("server.verifies").Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Plancache", resp.Status)
 	if !rep.OK() {
 		reg.Counter("server.verify_failures").Add(1)
+		if sp := obs.TraceFrom(r.Context()).Root(); sp != nil {
+			sp.SetAttr("error", "plan verification failed")
+		}
 		w.WriteHeader(http.StatusInternalServerError)
 	}
 	json.NewEncoder(w).Encode(verifyResponse{Result: resp.Raw, Verify: rep})
@@ -272,7 +311,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request, req loopp
 	s.explainMu.Unlock()
 	if err != nil {
 		reg.Counter("server.errors").Add(1)
-		writeError(w, planStatus(err), err.Error())
+		s.fail(w, r, planStatus(err), err.Error())
 		return
 	}
 	reg.Counter("server.explains").Add(1)
@@ -388,7 +427,7 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	s.explainMu.RUnlock()
 	if err != nil {
 		reg.Counter("server.errors").Add(1)
-		writeError(w, planStatus(err), err.Error())
+		s.fail(w, r, planStatus(err), err.Error())
 		return
 	}
 	reg.Counter("server.autotunes").Add(1)
@@ -407,9 +446,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.publishCacheGauges()
+	s.cfg.SLO.Publish(s.cfg.Registry)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := s.cfg.Registry.WriteMetricsText(w); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// Exemplar comment lines: the text exposition format (0.0.4) has no
+	// native exemplars, so the latest breach per route rides along as a
+	// comment a human (or a log pipeline) can join against
+	// /debug/flightrec?trace=<id>.
+	for _, st := range s.cfg.SLO.Status() {
+		ex := st.Exemplar
+		if ex == nil {
+			continue
+		}
+		fmt.Fprintf(w, "# EXEMPLAR %s trace_id=%q latency_seconds=%g\n",
+			telemetry.PromName("server.slo."+st.Objective.Route+".breach"),
+			ex.TraceID, ex.Latency.Seconds())
 	}
 }
 

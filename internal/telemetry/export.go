@@ -20,32 +20,45 @@ func (r *Registry) WriteMetricsJSON(w io.Writer) error {
 }
 
 // WriteMetricsText writes the snapshot in Prometheus text exposition
-// style: one `name value` sample per counter and gauge, and `_count`,
-// `_sum`, `_min`, `_max` samples per histogram.
+// format (version 0.0.4): every family gets `# HELP` and `# TYPE` lines,
+// counters are exposed under their conventional `_total` name, and
+// histograms emit `_count`, `_sum`, `_min`, `_max` samples.
+//
+// Counters are additionally emitted under their bare legacy name (no
+// `_total`, untyped) so existing scrape rules keep working for one
+// release; the aliases will be dropped once dashboards migrate.
 func (r *Registry) WriteMetricsText(w io.Writer) error {
 	snap := r.Snapshot()
 	for _, name := range sortedKeys(snap.Counters) {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s_total Cumulative count of %s.\n# TYPE %s_total counter\n%s_total %d\n%s %d\n",
+			pn, name, pn, pn, snap.Counters[name], pn, snap.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(snap.Gauges) {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", pn, pn, snap.Gauges[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s Current value of %s.\n# TYPE %s gauge\n%s %g\n",
+			pn, name, pn, pn, snap.Gauges[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(snap.Histograms) {
 		pn := promName(name)
 		h := snap.Histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n%s_count %d\n%s_sum %d\n%s_min %d\n%s_max %d\n",
-			pn, pn, h.Count, pn, h.SumNs, pn, h.MinNs, pn, h.MaxNs); err != nil {
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s Distribution of %s in nanoseconds.\n# TYPE %s summary\n%s_count %d\n%s_sum %d\n%s_min %d\n%s_max %d\n",
+			pn, name, pn, pn, h.Count, pn, h.SumNs, pn, h.MinNs, pn, h.MaxNs); err != nil {
 			return err
 		}
 	}
 	return nil
 }
+
+// PromName exposes the Prometheus name mangling, so the serving layer
+// can reference exported metric names (e.g. in /metrics exemplar lines).
+func PromName(name string) string { return promName(name) }
 
 // promName maps a dotted instrument name to a Prometheus-legal metric
 // name: dots and other non-alphanumerics become underscores.

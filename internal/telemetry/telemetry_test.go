@@ -187,10 +187,14 @@ func TestMetricsExports(t *testing.T) {
 	}
 	text := tbuf.String()
 	for _, want := range []string{
-		"sim_rect_cold_misses 104",
+		"sim_rect_cold_misses_total 104",
+		"sim_rect_cold_misses 104", // legacy alias, one release
 		"exec_load_imbalance 1.25",
 		"exec_barrier_wait_ns_count 1",
-		"# TYPE sim_rect_cold_misses counter",
+		"# TYPE sim_rect_cold_misses_total counter",
+		"# HELP sim_rect_cold_misses_total Cumulative count of sim.rect.cold_misses.",
+		"# TYPE exec_load_imbalance gauge",
+		"# TYPE exec_barrier_wait_ns summary",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text dump missing %q:\n%s", want, text)

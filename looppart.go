@@ -24,6 +24,7 @@
 package looppart
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -158,6 +159,14 @@ type Plan struct {
 
 // Partition derives a plan for P processors with the given strategy.
 func (pr *Program) Partition(procs int, strategy Strategy) (*Plan, error) {
+	return pr.PartitionCtx(context.Background(), procs, strategy)
+}
+
+// PartitionCtx is Partition with request-scoped tracing: when ctx carries
+// an obs.Trace, the strategy searches record their spans (search.rect /
+// search.skewed with evaluated/pruned counts) into it. Without a trace it
+// behaves exactly like Partition.
+func (pr *Program) PartitionCtx(ctx context.Context, procs int, strategy Strategy) (*Plan, error) {
 	reg := telemetry.Active()
 	if strategy != Auto {
 		sp := reg.StartSpan("partition." + strategy.String())
@@ -166,7 +175,7 @@ func (pr *Program) Partition(procs int, strategy Strategy) (*Plan, error) {
 	}
 	switch strategy {
 	case Auto:
-		if plan, err := pr.Partition(procs, CommFree); err == nil {
+		if plan, err := pr.PartitionCtx(ctx, procs, CommFree); err == nil {
 			reg.Emit("strategy.auto", "comm-free", map[string]any{
 				"reason": "a communication-free hyperplane partition exists",
 			})
@@ -175,9 +184,9 @@ func (pr *Program) Partition(procs int, strategy Strategy) (*Plan, error) {
 		reg.Emit("strategy.auto", "rect", map[string]any{
 			"reason": "no communication-free partition; falling back to footprint-optimal rectangles",
 		})
-		return pr.Partition(procs, Rect)
+		return pr.PartitionCtx(ctx, procs, Rect)
 	case Rect:
-		rp, err := partition.OptimizeRect(pr.Analysis, procs)
+		rp, err := partition.OptimizeRectCtx(ctx, pr.Analysis, procs)
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +207,7 @@ func (pr *Program) Partition(procs int, strategy Strategy) (*Plan, error) {
 		}
 		return pr.tilePlan(strategy, procs, rp.Tile(), rp.PredictedFootprint, rp.PredictedTraffic)
 	case Skewed:
-		sp, err := partition.OptimizeSkew(pr.Analysis, procs, 3)
+		sp, err := partition.OptimizeSkewCtx(ctx, pr.Analysis, procs, 3)
 		if err != nil {
 			return nil, err
 		}

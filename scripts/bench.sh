@@ -31,6 +31,11 @@ cat "$RAW"
 
 if [ "$GUARD" != 0 ] && [ -f BENCH_PARTITION.json ]; then
 	go run ./scripts/benchjson -against BENCH_PARTITION.json -current "$RAW"
+	# The serving fast path is held to a tighter bar: request-scoped
+	# observability (tracing middleware, flight recorder) must stay
+	# within 5% on ServePlanHit/ServePlanMiss.
+	go run ./scripts/benchjson -against BENCH_PARTITION.json -current "$RAW" \
+		-only ServePlanHit,ServePlanMiss -threshold 5
 fi
 
 go run ./scripts/benchjson \

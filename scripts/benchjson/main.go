@@ -14,7 +14,10 @@
 // fresh run and the recorded report must stay within -threshold percent
 // (default 25) of the recorded ns/op, or benchjson exits non-zero.
 // scripts/bench.sh runs it before overwriting the record (skip with
-// GUARD=0 for deliberately short, noisy runs).
+// GUARD=0 for deliberately short, noisy runs). -only restricts the guard
+// to a comma-separated list of benchmark name prefixes, so a hot path
+// can be held to a tighter threshold than the suite at large (bench.sh
+// guards the ServePlan fast path at 5%).
 package main
 
 import (
@@ -60,6 +63,7 @@ func main() {
 	validate := flag.String("validate", "", "validate an existing report instead of building one")
 	against := flag.String("against", "", "guard: fail if -current regresses vs this recorded report")
 	threshold := flag.Float64("threshold", 25, "max tolerated ns/op regression for -against, in percent")
+	only := flag.String("only", "", "restrict -against to benchmarks matching these comma-separated name prefixes")
 	flag.Parse()
 
 	if *against != "" {
@@ -70,6 +74,9 @@ func main() {
 		rows, _, err := parseBench(*current)
 		if err != nil {
 			fatal(err)
+		}
+		if *only != "" {
+			rows = filterRows(rows, strings.Split(*only, ","))
 		}
 		regressions, err := guardAgainst(*against, rows, *threshold)
 		if err != nil {
@@ -224,6 +231,22 @@ func parseBench(path string) (map[string]Row, string, error) {
 		return nil, "", fmt.Errorf("%s: no benchmark lines found", path)
 	}
 	return rows, cpu, nil
+}
+
+// filterRows keeps the rows whose name starts with one of the prefixes
+// (the -only flag). An unmatched prefix surfaces as the guard's
+// no-overlap error, not a silent pass.
+func filterRows(rows map[string]Row, prefixes []string) map[string]Row {
+	out := map[string]Row{}
+	for name, r := range rows {
+		for _, p := range prefixes {
+			if p != "" && strings.HasPrefix(name, strings.TrimSpace(p)) {
+				out[name] = r
+				break
+			}
+		}
+	}
+	return out
 }
 
 // guardAgainst compares a fresh run's rows with the recorded report's

@@ -69,6 +69,29 @@ func TestGuardAgainst(t *testing.T) {
 	}
 }
 
+func TestFilterRows(t *testing.T) {
+	rows := map[string]Row{
+		"ServePlanHit":    {NsOp: 100},
+		"ServePlanMiss":   {NsOp: 200},
+		"ServeBatch":      {NsOp: 300},
+		"RectSearch/P=16": {NsOp: 400},
+	}
+	got := filterRows(rows, []string{"ServePlanHit", " ServePlanMiss"})
+	if len(got) != 2 {
+		t.Fatalf("filtered rows = %v, want the two ServePlan rows", got)
+	}
+	for _, name := range []string{"ServePlanHit", "ServePlanMiss"} {
+		if _, ok := got[name]; !ok {
+			t.Errorf("filter dropped %s", name)
+		}
+	}
+	// A prefix matching nothing leaves the guard's no-overlap error to
+	// fire rather than silently passing.
+	if got := filterRows(rows, []string{"Nope"}); len(got) != 0 {
+		t.Errorf("unmatched prefix kept rows: %v", got)
+	}
+}
+
 func TestGuardAgainstNoOverlap(t *testing.T) {
 	record := writeRecord(t, &Report{Benchmarks: map[string]*Entry{
 		"RectSearch/P=16": {Current: &Row{NsOp: 1000}},

@@ -9,6 +9,15 @@ cd "$(dirname "$0")/.."
 echo '== go vet =='
 go vet ./...
 
+echo '== staticcheck =='
+# Gated: the verify environment may be offline. CI installs the pinned
+# version (see .github/workflows/ci.yml) so the check always runs there.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo 'staticcheck not installed; skipped (CI runs the pinned version)'
+fi
+
 echo '== go build =='
 go build ./...
 
@@ -23,6 +32,11 @@ go test -race -count=1 \
 echo '== race: serving layer (singleflight, shedding, graceful shutdown) =='
 go test -race -count=1 \
 	-run 'TestServerSingleflightConcurrentIdentical|TestServerShedsLoad|TestServerGracefulShutdownDrains' \
+	./internal/server
+
+echo '== race: request tracing (disjoint trees, coalesced waiter links) =='
+go test -race -count=1 \
+	-run 'TestServerObservabilityEndToEnd|TestServerParallelTracesDisjoint|TestServerCoalescedWaiterLinksOwner' \
 	./internal/server
 
 echo '== fuzz smoke: loopir parser (10s) =='
@@ -91,6 +105,7 @@ trap cleanup EXIT
 
 go build -o "$smokedir/looppartd" ./cmd/looppartd
 "$smokedir/looppartd" -addr 127.0.0.1:0 -portfile "$smokedir/port" \
+	-reqlog "$smokedir/requests.log" \
 	>"$smokedir/daemon.log" &
 daemon_pid=$!
 i=0
@@ -124,9 +139,31 @@ curl -sf -o "$smokedir/resp3" \
 grep -q '"failures":0' "$smokedir/resp3"
 grep -qF "\"result\":$(cat "$smokedir/resp1")" "$smokedir/resp3"
 
+# Request-scoped observability: a fresh nest under ?verify=1 forces a
+# slow cache-miss search whose caller-supplied trace ID must be
+# reconstructable from the flight recorder AND the structured request
+# log — span tree (singleflight owner, search, persist, verify)
+# included.
+slowreq='{"source":"doall (i, 1, 64)\n doall (j, 1, 64)\n  A[i,j] = B[i,j] + B[i+1,j+3]\n enddoall\nenddoall","procs":16,"strategy":"rect"}'
+curl -sf -o "$smokedir/resp4" -H 'Content-Type: application/json' \
+	-H 'X-Trace-Id: verify-smoke-trace' --data "$slowreq" "http://$addr/v1/plan?verify=1"
+grep -q '"failures":0' "$smokedir/resp4"
+curl -sf "http://$addr/debug/flightrec?trace=verify-smoke-trace" >"$smokedir/flightrec"
+grep -q '"trace_id": "verify-smoke-trace"' "$smokedir/flightrec"
+grep -q '"cache": "miss"' "$smokedir/flightrec"
+for span in cache.lookup singleflight search search.rect store.persist verify; do
+	grep -q "\"name\": \"$span\"" "$smokedir/flightrec" || {
+		echo "verify: flight record lacks the $span span" >&2
+		cat "$smokedir/flightrec" >&2
+		exit 1
+	}
+done
+grep -q 'verify-smoke-trace' "$smokedir/requests.log"
+curl -sf "http://$addr/debug/cache" | grep -q '"top_keys"'
+
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=
-grep -q 'served 3 requests (1 searches, 2 cache hits)' "$smokedir/daemon.log"
+grep -q 'served 4 requests (2 searches, 2 cache hits)' "$smokedir/daemon.log"
 
 echo 'verify: OK'

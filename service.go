@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"looppart/internal/autotune"
+	"looppart/internal/obs"
 	"looppart/internal/plancache"
 	"looppart/internal/telemetry"
 )
@@ -201,6 +202,14 @@ func (s *Service) Stats() ServiceStats {
 // Autotuned reports whether searches run measured tournaments.
 func (s *Service) Autotuned() bool { return s.autotuneK > 0 }
 
+// TopKeys returns the k most-served plan-cache entries with their hit
+// counts and byte occupancy (the /debug/cache hot-key dump).
+func (s *Service) TopKeys(k int) []plancache.KeyStat { return s.cache.TopKeys(k) }
+
+// Flights snapshots the live singleflight flights — key, owner trace ID,
+// and how many coalesced waiters are blocked on each (for /debug/cache).
+func (s *Service) Flights() []plancache.FlightInfo { return s.group.Flights() }
+
 // CacheStats returns the plan-cache counters.
 func (s *Service) CacheStats() plancache.Stats { return s.cache.Stats() }
 
@@ -219,36 +228,72 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 		return nil, err
 	}
 	key := CanonicalKey(prog, procs, strategy)
+	// Stamp the canonical key on the enclosing request span (the server's
+	// root), so a flight record is findable by key.
+	obs.SpanFrom(ctx).SetAttr("key", key)
 
-	if raw, ok := s.cache.Get(key); ok {
+	_, csp := obs.StartSpan(ctx, "cache.lookup")
+	raw, ok := s.cache.Get(key)
+	if ok {
+		csp.SetAttr("outcome", "hit")
+		csp.End()
 		s.cacheHits.Add(1)
 		reg.Counter("service.plan.cache_hit").Add(1)
 		return response(key, "hit", raw)
 	}
+	csp.SetAttr("outcome", "miss")
+	csp.End()
 	if s.store != nil {
+		_, ssp := obs.StartSpan(ctx, "store.lookup")
 		if raw, ok := s.store.Get(key); ok {
 			// Evicted from memory (or written by another process) but
 			// still on disk: re-admit and serve the stored bytes — the
 			// same canonical encoding a memory hit returns.
+			ssp.SetAttr("outcome", "hit")
+			ssp.End()
 			s.cache.Put(key, raw)
 			s.storeHits.Add(1)
 			s.cacheHits.Add(1)
 			reg.Counter("service.plan.store_hit").Add(1)
 			return response(key, "hit", raw)
 		}
+		ssp.SetAttr("outcome", "miss")
+		ssp.End()
 	}
 
-	raw, shared, err := s.group.Do(ctx, key, func() ([]byte, error) {
+	// The singleflight span wraps the wait; fn captures sfctx so that when
+	// this caller owns the flight, the search spans attach under it. A
+	// coalesced waiter's fn never runs — its span records the owner's
+	// trace ID instead, linking the two trees.
+	sfctx, sfsp := obs.StartSpan(ctx, "singleflight")
+	raw, shared, ownerTrace, err := s.group.Do(sfctx, key, func() ([]byte, error) {
 		s.searches.Add(1)
 		reg.Counter("service.plan.search").Add(1)
-		raw, err := s.search(prog, key, procs, req.Strategy, strategy)
+		sctx, ssp := obs.StartSpan(sfctx, "search")
+		ssp.SetAttr("strategy", strategy.String())
+		ssp.SetAttr("procs", procs)
+		ssp.SetAttr("autotune_k", s.autotuneK)
+		raw, err := s.search(sctx, prog, key, procs, req.Strategy, strategy)
+		ssp.End()
 		if err != nil {
 			return nil, err
 		}
+		_, psp := obs.StartSpan(sfctx, "store.persist")
+		psp.SetAttr("bytes", len(raw))
 		s.cache.Put(key, raw)
 		s.persist(key, raw)
+		psp.End()
 		return raw, nil
 	})
+	if shared {
+		sfsp.SetAttr("role", "waiter")
+		if ownerTrace != "" {
+			sfsp.SetAttr("owner_trace", ownerTrace)
+		}
+	} else {
+		sfsp.SetAttr("role", "owner")
+	}
+	sfsp.End()
 	if err != nil {
 		s.errors.Add(1)
 		reg.Counter("service.plan.errors").Add(1)
@@ -284,7 +329,7 @@ func (s *Service) Explain(req PlanRequest) (*PlanResponse, string, error) {
 	}
 	key := CanonicalKey(prog, procs, strategy)
 	s.searches.Add(1)
-	raw, err := s.search(prog, key, procs, req.Strategy, strategy)
+	raw, err := s.search(context.Background(), prog, key, procs, req.Strategy, strategy)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, "", err
@@ -368,18 +413,18 @@ func (s *Service) Tournament(req PlanRequest) (*autotune.Result, error) {
 
 // search runs the partition search (a measured tournament in autotune
 // mode) and encodes the result canonically.
-func (s *Service) search(prog *Program, key string, procs int, requested string, strategy Strategy) ([]byte, error) {
+func (s *Service) search(ctx context.Context, prog *Program, key string, procs int, requested string, strategy Strategy) ([]byte, error) {
 	var (
 		plan *Plan
 		res  *autotune.Result
 		err  error
 	)
 	if s.autotuneK > 0 {
-		plan, res, err = prog.Autotune(procs, strategy, AutotuneOptions{
+		plan, res, err = prog.AutotuneCtx(ctx, procs, strategy, AutotuneOptions{
 			TopK: s.autotuneK, Fingerprint: s.fingerprint, CacheLines: s.autotuneCLines,
 		})
 	} else {
-		plan, err = prog.Partition(procs, strategy)
+		plan, err = prog.PartitionCtx(ctx, procs, strategy)
 	}
 	if err != nil {
 		return nil, err
