@@ -205,6 +205,24 @@ func BenchmarkServePlanMiss(b *testing.B) {
 	}
 }
 
+// BenchmarkServePlanMissClosedForm is the cold-plan latency on a nest
+// inside the closed-form domain at high processor count: the analytic
+// fast path plus the zero-allocation miss pipeline must hold a cold
+// rect plan under a millisecond at P=256.
+func BenchmarkServePlanMissClosedForm(b *testing.B) {
+	req := looppart.PlanRequest{
+		Source: paperex.Example8, Params: map[string]int64{"N": 96},
+		Procs: 256, Strategy: "rect",
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		svc := looppart.NewService(looppart.ServiceOptions{})
+		if _, err := svc.Plan(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkServePlanHit(b *testing.B) {
 	req := looppart.PlanRequest{
 		Source: paperex.Example8, Params: map[string]int64{"N": 24},

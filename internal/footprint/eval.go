@@ -99,10 +99,20 @@ func (e *Evaluator) Analysis() *Analysis { return e.a }
 // RectTotalFootprint is Analysis.RectTotalFootprint with the cached
 // per-class terms: identical values, no per-candidate rational solves.
 func (e *Evaluator) RectTotalFootprint(ext []int64) (float64, Exactness) {
+	return e.RectTotalFootprintScratch(ext, nil)
+}
+
+// RectTotalFootprintScratch is RectTotalFootprint with a caller-provided
+// scratch buffer (len ≥ len(ext)) absorbing the only per-call allocation
+// of the closed-form class paths — the Lemma 3 pair-union bounds. The
+// values are bit-identical to RectTotalFootprint; a nil or short scratch
+// falls back to allocating. The scratch is overwritten per class, so one
+// buffer serves a whole sequential candidate sweep.
+func (e *Evaluator) RectTotalFootprintScratch(ext, scratch []int64) (float64, Exactness) {
 	total := 0.0
 	worst := Exact
 	for i := range e.classes {
-		v, ex := e.classes[i].rectFootprint(ext)
+		v, ex := e.classes[i].rectFootprint(ext, scratch)
 		total += v
 		if ex > worst {
 			worst = ex
@@ -111,9 +121,39 @@ func (e *Evaluator) RectTotalFootprint(ext []int64) (float64, Exactness) {
 	return total, worst
 }
 
+// RectClosedForm reports whether every class of the analysis scores
+// through a closed-form rectangular expression — square nonsingular
+// reduced G' and a single-reference (volume), integral-pair (Lemma 3), or
+// linearized-coefficient (Theorem 4) form — i.e. RectTotalFootprint never
+// falls back to per-candidate enumeration. This is the structural half of
+// the closed-form fast-path domain in internal/partition.
+func (e *Evaluator) RectClosedForm() bool {
+	for i := range e.classes {
+		ce := &e.classes[i]
+		if !ce.square {
+			return false
+		}
+		if len(ce.c.Refs) != 1 && ce.pairU == nil && !ce.uOK {
+			return false
+		}
+	}
+	return true
+}
+
+// SpreadCoeff returns the cached Theorem 4 spread coefficient |u_k| of
+// class i, and whether the coefficients are valid for that class.
+func (e *Evaluator) SpreadCoeff(i, k int) (float64, bool) {
+	ce := &e.classes[i]
+	if !ce.uOK || k >= len(ce.u) {
+		return 0, false
+	}
+	return ce.u[k], true
+}
+
 // rectFootprint mirrors Class.RectFootprint exactly, reading the cached
-// decomposition instead of re-solving it.
-func (ce *classEval) rectFootprint(ext []int64) (float64, Exactness) {
+// decomposition instead of re-solving it. scratch, when long enough,
+// holds the pair-union bounds; nil allocates as before.
+func (ce *classEval) rectFootprint(ext, scratch []int64) (float64, Exactness) {
 	if !ce.square {
 		return ce.c.rectEnumOrModel(ext)
 	}
@@ -125,7 +165,11 @@ func (ce *classEval) rectFootprint(ext []int64) (float64, Exactness) {
 		return base, Exact
 	}
 	if ce.pairU != nil {
-		bounds := make([]int64, len(ext))
+		bounds := scratch
+		if len(bounds) < len(ext) {
+			bounds = make([]int64, len(ext))
+		}
+		bounds = bounds[:len(ext)]
 		for k := range ext {
 			bounds[k] = ext[k] - 1
 		}

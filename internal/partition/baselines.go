@@ -70,6 +70,7 @@ func AbrahamHudak(a *footprint.Analysis, procs int) (RectPlan, error) {
 	if bestScore < 0 {
 		return RectPlan{}, fmt.Errorf("abraham-hudak: no feasible grid")
 	}
+	best.Grid = cloneGrid(best.Grid)
 	return best, nil
 }
 

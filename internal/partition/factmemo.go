@@ -1,0 +1,62 @@
+package partition
+
+import "sync"
+
+// A long-lived daemon asks the optimizers about the same handful of
+// (processor count, rank) and (tile volume, rank) pairs for its whole
+// lifetime, yet every search used to re-enumerate the ordered
+// factorization table from the divisor list. The memo below caches the
+// enumerated tables keyed by (n, k), bounded, behind an RWMutex so
+// concurrent searches share one table without a write lock on the hot
+// path.
+//
+// The cached tables are shared across callers and across time: they are
+// strictly read-only. Optimizers that embed a winning grid in a returned
+// plan copy it first (cloneGrid) — plans are caller-owned and mutable,
+// and a caller writing through plan.Grid must never corrupt the memo.
+
+// factMemoMaxEntries bounds the memo. Tables are small (the largest in
+// practice, factorizations(360, 3), is 180 grids ≈ 6 KB), so the bound
+// is about predictability, not memory pressure.
+const factMemoMaxEntries = 64
+
+var factMemo = struct {
+	sync.RWMutex
+	m map[factKey][][]int64
+}{m: make(map[factKey][][]int64, factMemoMaxEntries)}
+
+// factorizations returns the ordered factorizations of n into k positive
+// factors, ascending-lexicographic by factor, from the bounded (n, k)
+// memo. The returned table is shared: callers must not modify the grids.
+func factorizations(n int64, k int) [][]int64 {
+	key := factKey{n, k}
+	factMemo.RLock()
+	cached, ok := factMemo.m[key]
+	factMemo.RUnlock()
+	if ok {
+		return cached
+	}
+	out := enumerateFactorizations(n, k)
+	factMemo.Lock()
+	if cached, ok := factMemo.m[key]; ok {
+		// Lost an enumeration race: every caller sees the first table.
+		out = cached
+	} else {
+		if len(factMemo.m) >= factMemoMaxEntries {
+			// Bounded eviction: drop one arbitrary entry. The working set
+			// of a daemon is a few keys, so any victim choice is fine.
+			for victim := range factMemo.m {
+				delete(factMemo.m, victim)
+				break
+			}
+		}
+		factMemo.m[key] = out
+	}
+	factMemo.Unlock()
+	return out
+}
+
+// cloneGrid copies a memo-backed grid so a returned plan owns its slice.
+func cloneGrid(g []int64) []int64 {
+	return append([]int64(nil), g...)
+}

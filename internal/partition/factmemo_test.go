@@ -1,0 +1,76 @@
+package partition
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestFactorizationsMemoConcurrent hammers the memo from many goroutines
+// over a mix of keys and checks every returned table against the
+// unmemoized recursive oracle. Run under -race this doubles as the
+// data-race proof for the RWMutex protocol (including the lost-race
+// re-check and bounded eviction paths).
+func TestFactorizationsMemoConcurrent(t *testing.T) {
+	type key struct {
+		n int64
+		k int
+	}
+	keys := []key{
+		{16, 1}, {16, 2}, {16, 3}, {60, 2}, {60, 3},
+		{64, 3}, {100, 2}, {128, 3}, {210, 3}, {360, 3},
+	}
+	want := make(map[key][][]int64, len(keys))
+	for _, kk := range keys {
+		want[kk] = referenceFactorizations(kk.n, kk.k)
+	}
+
+	const goroutines = 16
+	const rounds = 40
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				kk := keys[(g+r)%len(keys)]
+				got := factorizations(kk.n, kk.k)
+				if !reflect.DeepEqual(got, want[kk]) {
+					select {
+					case errs <- fmt.Errorf("factorizations(%d,%d) diverged from the oracle", kk.n, kk.k):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFactorizationsMemoBounded fills the memo past its capacity and
+// checks the entry count never exceeds the bound, and that evicted keys
+// still answer correctly (re-enumerated, not lost).
+func TestFactorizationsMemoBounded(t *testing.T) {
+	for n := int64(1); n <= int64(factMemoMaxEntries)+20; n++ {
+		factorizations(n, 2)
+		factMemo.RLock()
+		size := len(factMemo.m)
+		factMemo.RUnlock()
+		if size > factMemoMaxEntries {
+			t.Fatalf("memo grew to %d entries, bound is %d", size, factMemoMaxEntries)
+		}
+	}
+	// Every key — cached or evicted — still matches the oracle.
+	for n := int64(1); n <= int64(factMemoMaxEntries)+20; n++ {
+		if got, want := factorizations(n, 2), referenceFactorizations(n, 2); !reflect.DeepEqual(got, want) {
+			t.Fatalf("factorizations(%d,2) = %v after eviction churn, want %v", n, got, want)
+		}
+	}
+}

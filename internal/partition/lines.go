@@ -86,6 +86,7 @@ func OptimizeRectLines(a *footprint.Analysis, procs int, lineSize int64) (RectPl
 	if !found {
 		return RectPlan{}, fmt.Errorf("partition: no feasible grid of %d processors for space %v", procs, sizes)
 	}
+	best.Grid = cloneGrid(best.Grid)
 	return best, nil
 }
 

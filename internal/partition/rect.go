@@ -128,6 +128,15 @@ func OptimizeRectCtx(ctx context.Context, a *footprint.Analysis, procs int) (Rec
 	grids := factorizations(int64(procs), l)
 	ev := footprint.NewEvaluator(a)
 
+	// Closed-form fast path: inside the model's analytic domain the
+	// Lagrange-optimal shape is computed in O(1) and certified by a
+	// zero-allocation sequential sweep (closedform.go); off-domain nests
+	// fall through to the parallel enumerative search below. Either way
+	// the returned plan is byte-identical.
+	if plan, handled, err := closedFormRect(ctx, a, ev, sizes, grids, procs, sp, reg); handled {
+		return plan, err
+	}
+
 	type rectCand struct {
 		ext   []int64
 		fp    float64
@@ -197,6 +206,7 @@ func OptimizeRectCtx(ctx context.Context, a *footprint.Analysis, procs int) (Rec
 	if !found {
 		return RectPlan{}, fmt.Errorf("partition: no feasible grid of %d processors for space %v", procs, sizes)
 	}
+	best.Grid = cloneGrid(best.Grid)
 	tr, _ := a.RectTotalTraffic(best.Ext)
 	best.PredictedTraffic = tr
 	sp.SetAttr("grid", fmt.Sprint(best.Grid))
@@ -270,12 +280,13 @@ func spreadOf(grid []int64) int64 {
 	return mx - mn
 }
 
-// factorizations enumerates all ordered factorizations of n into k
-// positive factors, ascending-lexicographic by factor (the order the old
-// recursive enumerator produced). The walk is iterative over divisor
+// enumerateFactorizations enumerates all ordered factorizations of n into
+// k positive factors, ascending-lexicographic by factor (the order the
+// old recursive enumerator produced). The walk is iterative over divisor
 // indices with the whole result preallocated in one flat backing array —
-// no per-step slice copying.
-func factorizations(n int64, k int) [][]int64 {
+// no per-step slice copying. factorizations (factmemo.go) wraps it with
+// the bounded (n, k) memo; call that instead.
+func enumerateFactorizations(n int64, k int) [][]int64 {
 	if k <= 0 || n <= 0 {
 		return nil
 	}
@@ -422,6 +433,7 @@ func GridFromRatios(space tile.Bounds, coeffs []float64, procs int) (RectPlan, e
 	if best.Grid == nil {
 		return RectPlan{}, fmt.Errorf("partition: no feasible grid")
 	}
+	best.Grid = cloneGrid(best.Grid)
 	return best, nil
 }
 

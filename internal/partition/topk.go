@@ -99,6 +99,7 @@ func OptimizeRectTopK(a *footprint.Analysis, procs, k int) ([]RectPlan, error) {
 			continue // same extents as a better-ranked plan: same tiling
 		}
 		seen[key] = true
+		bestPlan.Grid = cloneGrid(bestPlan.Grid)
 		tr, _ := a.RectTotalTraffic(bestPlan.Ext)
 		bestPlan.PredictedTraffic = tr
 		out = append(out, bestPlan)

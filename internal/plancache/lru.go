@@ -18,7 +18,10 @@ const entryOverhead = 128
 
 // Cache is a byte-bounded LRU of encoded plans, safe for concurrent use.
 // Values are treated as immutable by both sides: Put keeps the given
-// slice, Get returns it without copying.
+// slice, Get returns it without copying. An entry may additionally carry
+// a decoded form of the same value (PutDecoded/GetDecoded), sharing the
+// entry's LRU position and lifetime, so hot read paths skip re-parsing
+// the bytes they already hold.
 type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
@@ -32,9 +35,13 @@ type Cache struct {
 }
 
 type entry struct {
-	key  string
-	val  []byte
-	hits int64
+	key string
+	val []byte
+	// decoded, when non-nil, is a parsed form of val with the same
+	// immutability contract. It rides the entry: evicted together,
+	// replaced together.
+	decoded any
+	hits    int64
 }
 
 // NewCache returns a cache bounded at maxBytes (DefaultMaxBytes when
@@ -52,28 +59,43 @@ func NewCache(maxBytes int64) *Cache {
 
 // Get returns the cached value for key, marking it most recently used.
 func (c *Cache) Get(key string) ([]byte, bool) {
+	val, _, ok := c.GetDecoded(key)
+	return val, ok
+}
+
+// GetDecoded is Get also returning the decoded value stored alongside the
+// bytes, when one was supplied via PutDecoded (nil otherwise). Both
+// returns are shared with the cache and must be treated as immutable.
+func (c *Cache) GetDecoded(key string) ([]byte, any, bool) {
 	c.mu.Lock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
 		c.mu.Unlock()
 		telemetry.Active().Counter("plancache.misses").Add(1)
-		return nil, false
+		return nil, nil, false
 	}
 	c.hits++
 	c.ll.MoveToFront(el)
 	e := el.Value.(*entry)
 	e.hits++
-	val := e.val
+	val, dec := e.val, e.decoded
 	c.mu.Unlock()
 	telemetry.Active().Counter("plancache.hits").Add(1)
-	return val, true
+	return val, dec, true
 }
 
 // Put inserts or replaces the value for key and evicts from the LRU tail
 // until the byte budget holds. A value that alone exceeds the budget is
 // not cached.
-func (c *Cache) Put(key string, val []byte) {
+func (c *Cache) Put(key string, val []byte) { c.PutDecoded(key, val, nil) }
+
+// PutDecoded is Put also retaining decoded — a parsed form of val — for
+// GetDecoded to return without re-parsing. Replacing an entry replaces
+// its decoded value too (possibly with nil), so the two can never skew.
+// The decoded value is not charged against the byte budget: it mirrors
+// val's information, and the budget meters the canonical bytes.
+func (c *Cache) PutDecoded(key string, val []byte, decoded any) {
 	size := int64(len(key)+len(val)) + entryOverhead
 	if size > c.maxBytes {
 		return
@@ -84,9 +106,10 @@ func (c *Cache) Put(key string, val []byte) {
 		e := el.Value.(*entry)
 		c.bytes += int64(len(val)) - int64(len(e.val))
 		e.val = val
+		e.decoded = decoded
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, decoded: decoded})
 		c.bytes += size
 	}
 	for c.bytes > c.maxBytes {

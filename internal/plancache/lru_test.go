@@ -84,3 +84,57 @@ func TestHitRatio(t *testing.T) {
 		t.Errorf("ratio = %v", r)
 	}
 }
+
+func TestCacheDecodedRidesEntry(t *testing.T) {
+	c := NewCache(1 << 20)
+	type decoded struct{ N int }
+
+	// PutDecoded stores both forms; GetDecoded returns both.
+	c.PutDecoded("k", []byte("v1"), &decoded{N: 1})
+	v, d, ok := c.GetDecoded("k")
+	if !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("GetDecoded = %q, %v", v, ok)
+	}
+	if dd, _ := d.(*decoded); dd == nil || dd.N != 1 {
+		t.Fatalf("decoded = %#v, want &{1}", d)
+	}
+	// Plain Get still serves the bytes.
+	if v, ok := c.Get("k"); !ok || !bytes.Equal(v, []byte("v1")) {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+
+	// Replacing via plain Put must drop the stale decoded value: the two
+	// forms can never skew.
+	c.Put("k", []byte("v2"))
+	v, d, ok = c.GetDecoded("k")
+	if !ok || !bytes.Equal(v, []byte("v2")) {
+		t.Fatalf("after Put: %q, %v", v, ok)
+	}
+	if d != nil {
+		t.Fatalf("stale decoded value survived a bytes-only replace: %#v", d)
+	}
+
+	// And replacing via PutDecoded installs the new pair.
+	c.PutDecoded("k", []byte("v3"), &decoded{N: 3})
+	v, d, _ = c.GetDecoded("k")
+	if !bytes.Equal(v, []byte("v3")) {
+		t.Fatalf("after PutDecoded: %q", v)
+	}
+	if dd, _ := d.(*decoded); dd == nil || dd.N != 3 {
+		t.Fatalf("decoded = %#v, want &{3}", d)
+	}
+}
+
+func TestCacheDecodedEvictsWithEntry(t *testing.T) {
+	// Budget sized for one small entry (see TestCacheEvictsLRU).
+	c := NewCache(2 * (int64(len("k1")+len("xxxx")) + entryOverhead))
+	c.PutDecoded("k1", []byte("xxxx"), "d1")
+	c.PutDecoded("k2", []byte("xxxx"), "d2")
+	c.PutDecoded("k3", []byte("xxxx"), "d3")
+	if _, _, ok := c.GetDecoded("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	if _, d, ok := c.GetDecoded("k3"); !ok || d != "d3" {
+		t.Fatalf("k3 = %v, %v", d, ok)
+	}
+}

@@ -14,6 +14,7 @@ package tile
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"looppart/internal/intmat"
@@ -150,6 +151,15 @@ type Tiling struct {
 	Tile   Tile
 	Origin []int64       // lower corner of the iteration space
 	linv   intmat.RatMat // L⁻¹ cached
+
+	// Integer fast path for Coord: linv == linvNum / linvDen elementwise,
+	// with linvNum[j][k] = den·L⁻¹[k][j] (transposed so the inner product
+	// over k walks one row). Valid only when intOK — the common case;
+	// tiles whose inverse denominators overflow the scaling keep the
+	// exact rational path.
+	linvNum [][]int64
+	linvDen int64
+	intOK   bool
 }
 
 // NewTiling constructs a tiling anchored at origin.
@@ -161,22 +171,67 @@ func NewTiling(t Tile, origin []int64) (*Tiling, error) {
 	if !ok {
 		return nil, fmt.Errorf("tile: singular tile matrix")
 	}
-	return &Tiling{Tile: t, Origin: origin, linv: inv}, nil
+	tl := &Tiling{Tile: t, Origin: origin, linv: inv}
+	tl.initIntInverse()
+	return tl, nil
+}
+
+// initIntInverse scales L⁻¹ by the LCM of its denominators into one
+// integer matrix, enabling Coord to run on int64 multiply-adds and one
+// floor division instead of per-entry rational arithmetic. Any overflow
+// while scaling leaves intOK false and Coord on the exact rational path.
+func (tl *Tiling) initIntInverse() {
+	d := tl.Tile.Dim()
+	den := int64(1)
+	for k := 0; k < d; k++ {
+		for j := 0; j < d; j++ {
+			ed := tl.linv.At(k, j).Den()
+			g := rational.GCD(den, ed)
+			nd, ok := mulOK(den/g, ed)
+			if !ok {
+				return
+			}
+			den = nd
+		}
+	}
+	num := make([][]int64, d)
+	for j := 0; j < d; j++ {
+		num[j] = make([]int64, d)
+		for k := 0; k < d; k++ {
+			e := tl.linv.At(k, j)
+			v, ok := mulOK(e.Num(), den/e.Den())
+			if !ok {
+				return
+			}
+			num[j][k] = v
+		}
+	}
+	tl.linvNum, tl.linvDen, tl.intOK = num, den, true
 }
 
 // Coord returns the tile coordinates of the iteration point p: the floor
 // of the lattice coordinates (p − origin)·L⁻¹. Iterations with equal
 // coordinates belong to the same tile.
 func (tl *Tiling) Coord(p []int64) []int64 {
+	return tl.CoordInto(p, make([]int64, tl.Tile.Dim()))
+}
+
+// CoordInto is Coord writing into a caller-provided buffer (len = Dim)
+// and returning it — the allocation-free form the assignment scan and
+// per-point processor lookups run on. Points whose scaled coordinates
+// overflow int64 fall back to the exact rational arithmetic.
+func (tl *Tiling) CoordInto(p, out []int64) []int64 {
 	d := tl.Tile.Dim()
 	if len(p) != d {
 		panic("tile: point dimension mismatch")
+	}
+	if tl.intOK && tl.coordInt(p, out) {
+		return out
 	}
 	rel := make([]rational.Rat, d)
 	for k := range rel {
 		rel[k] = rational.FromInt(p[k] - tl.Origin[k])
 	}
-	out := make([]int64, d)
 	for j := 0; j < d; j++ {
 		s := rational.Zero
 		for k := 0; k < d; k++ {
@@ -185,6 +240,67 @@ func (tl *Tiling) Coord(p []int64) []int64 {
 		out[j] = s.Floor()
 	}
 	return out
+}
+
+// coordInt computes the tile coordinates on the scaled integer inverse:
+// coord_j = floor(Σ_k (p_k − origin_k)·num[j][k] / den), exactly the
+// rational result. Reports false on any intermediate overflow, in which
+// case the caller re-runs the rational path.
+func (tl *Tiling) coordInt(p, out []int64) bool {
+	den := tl.linvDen
+	for j := range out {
+		row := tl.linvNum[j]
+		acc := int64(0)
+		for k, nk := range row {
+			o := tl.Origin[k]
+			rel := p[k] - o
+			if (o > 0 && rel > p[k]) || (o < 0 && rel < p[k]) {
+				return false
+			}
+			prod, ok := mulOK(rel, nk)
+			if !ok {
+				return false
+			}
+			acc, ok = addOK(acc, prod)
+			if !ok {
+				return false
+			}
+		}
+		out[j] = floorDiv(acc, den)
+	}
+	return true
+}
+
+// mulOK and addOK are non-panicking overflow-checked int64 arithmetic:
+// the fast path degrades to the rational path instead of aborting.
+func mulOK(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == minI64 && b == -1) || (b == minI64 && a == -1) {
+		return 0, false
+	}
+	return p, true
+}
+
+func addOK(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s <= 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+const minI64 = -1 << 63
+
+// floorDiv is floor(a/den) for den > 0.
+func floorDiv(a, den int64) int64 {
+	q := a / den
+	if a%den != 0 && a < 0 {
+		q--
+	}
+	return q
 }
 
 // Bounds describes a rectangular iteration space [Lo[k], Hi[k]] per
@@ -309,15 +425,38 @@ func Assign(tl *Tiling, space Bounds, procs int) (*Assignment, error) {
 		return a, nil
 	}
 	a.procOf = make(map[string]int)
-	space.ForEach(func(p []int64) bool {
-		key := coordKey(tl.Coord(p))
-		if _, ok := a.procOf[key]; !ok {
-			a.procOf[key] = a.numTiles % procs
+	d := space.Dim()
+	if d == 0 {
+		return a, nil
+	}
+	// Allocation-free lexicographic scan: the iteration point, the tile
+	// coordinates, and the map key live in three reused buffers. Only a
+	// first-seen tile pays a key-string allocation; lookups of existing
+	// keys convert in place.
+	p := make([]int64, d)
+	copy(p, space.Lo)
+	coord := make([]int64, d)
+	key := make([]byte, 0, 16*d)
+	for {
+		tl.CoordInto(p, coord)
+		key = appendCoordKey(key[:0], coord)
+		if _, ok := a.procOf[string(key)]; !ok {
+			a.procOf[string(key)] = a.numTiles % procs
 			a.numTiles++
 		}
-		return true
-	})
-	return a, nil
+		k := d - 1
+		for k >= 0 {
+			p[k]++
+			if p[k] <= space.Hi[k] {
+				break
+			}
+			p[k] = space.Lo[k]
+			k--
+		}
+		if k < 0 {
+			return a, nil
+		}
+	}
 }
 
 func sameVec(a, b []int64) bool {
@@ -347,8 +486,21 @@ func (a *Assignment) ProcOf(p []int64) int {
 		}
 		return int(idx % int64(a.numProcs))
 	}
-	key := coordKey(a.Tiling.Coord(p))
-	proc, ok := a.procOf[key]
+	// Per-call stack buffers: ProcOf runs once per iteration point under
+	// concurrent executors (exec.RunParallel), so the coordinates and key
+	// must not live on the shared Assignment.
+	d := a.Tiling.Tile.Dim()
+	var cArr [8]int64
+	var kArr [128]byte
+	var coord []int64
+	if d <= len(cArr) {
+		coord = cArr[:d]
+	} else {
+		coord = make([]int64, d)
+	}
+	a.Tiling.CoordInto(p, coord)
+	key := appendCoordKey(kArr[:0], coord)
+	proc, ok := a.procOf[string(key)]
 	if !ok {
 		panic(fmt.Sprintf("tile: iteration %v outside assigned space", p))
 	}
@@ -394,12 +546,21 @@ func (a *Assignment) LoadImbalance() float64 {
 	return float64(max) / mean
 }
 
-func coordKey(c []int64) string {
-	var b strings.Builder
+// appendCoordKey appends the map key for tile coordinates c — each value
+// in decimal followed by a comma — to b and returns it. The format must
+// match between the Assign scan (which inserts keys) and ProcOf (which
+// looks them up).
+func appendCoordKey(b []byte, c []int64) []byte {
 	for _, v := range c {
-		fmt.Fprintf(&b, "%d,", v)
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, ',')
 	}
-	return b.String()
+	return b
+}
+
+func coordKey(c []int64) string {
+	var b [64]byte
+	return string(appendCoordKey(b[:0], c))
 }
 
 // OriginPoints enumerates the integer iteration points of the tile at the

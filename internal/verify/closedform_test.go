@@ -1,0 +1,121 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// closedFormInDomainSeeds are nests inside the closed-form domain: every
+// class reduces to a square nonsingular G' with a closed-form footprint
+// and the extents strictly dominate the spread coefficients. The fast
+// path must serve these analytically (hit) and match the enumerated
+// argmin exactly.
+var closedFormInDomainSeeds = []string{
+	// Example 8 geometry: nearest-neighbor stencil, spread (1, 1) « N.
+	"doall (i, 0, 95) doall (j, 0, 95) A[i, j] = A[i - 1, j] + A[i, j - 1] enddoall enddoall",
+	// Non-unit coefficients, still square and dominating.
+	"doall (i, 0, 31) doall (j, 0, 31) B[2*i, j] = B[2*i - 2, j + 1] enddoall enddoall",
+	// Three-deep symmetric stencil.
+	"doall (i, 0, 23) doall (j, 0, 23) doall (k, 0, 23) C[i, j, k] = C[i - 1, j, k] + C[i, j - 1, k] + C[i, j, k - 1] enddoall enddoall enddoall",
+}
+
+// closedFormOffDomainSeeds pin the fallback branch: nests the eligibility
+// test must reject, after which the enumerative search serves the same
+// plan it always did.
+var closedFormOffDomainSeeds = []string{
+	// Extent equal to the spread coefficient (5 ≤ 5): the §2.2 working
+	// assumption "tile sizes large relative to the offsets" fails, so the
+	// Lagrange linearization carries no accuracy claim.
+	"doall (i, 0, 4) doall (j, 0, 4) A[i, j] = A[i + 5, j] enddoall enddoall",
+	// Extent one short of dominating (6 ≤ 6).
+	"doall (i, 0, 5) doall (j, 0, 5) A[i, j] = A[i + 6, j] enddoall enddoall",
+	// Dependent subscript columns: G has two identical columns, so the
+	// §3.4.1 reduction leaves a non-square G' with no closed form.
+	"doall (i, 0, 7) doall (j, 0, 7) A[i + j, i + j] = A[i + j - 1, i + j - 1] enddoall enddoall",
+	// Rank-deficient single subscript over a 2-D space — same reduction,
+	// one column.
+	"doall (i, 0, 7) doall (j, 0, 7) A[i + j] = A[i + j - 1] enddoall enddoall",
+}
+
+// TestClosedFormInDomainSeeds pins the hit branch: analytic plan, byte-
+// identical (structurally equal, hence identical canonical JSON) to the
+// enumerated argmin, across processor counts with different prime shapes.
+func TestClosedFormInDomainSeeds(t *testing.T) {
+	for _, src := range closedFormInDomainSeeds {
+		for _, procs := range []int{4, 12, 16, 60} {
+			hit, err := DiffClosedFormNest(src, procs)
+			if err != nil {
+				t.Errorf("procs=%d nest %q: %v", procs, src, err)
+				continue
+			}
+			if !hit {
+				t.Errorf("procs=%d nest %q: expected the closed-form hit branch, got fallback", procs, src)
+			}
+		}
+	}
+}
+
+// TestClosedFormOffDomainSeeds pins the fallback branch on the seeds the
+// eligibility test must reject — and that the fallback's plan still
+// matches the always-enumerative oracle.
+func TestClosedFormOffDomainSeeds(t *testing.T) {
+	for _, src := range closedFormOffDomainSeeds {
+		for _, procs := range []int{4, 16} {
+			hit, err := DiffClosedFormNest(src, procs)
+			if err != nil {
+				t.Errorf("procs=%d nest %q: %v", procs, src, err)
+				continue
+			}
+			if hit {
+				t.Errorf("procs=%d nest %q: expected the enumerative fallback, got a closed-form hit", procs, src)
+			}
+		}
+	}
+}
+
+// TestClosedFormMatchesEnumerationRandom drives the closed-form diff with
+// the random nest corpus: every generated nest that survives analysis
+// must produce identical plans on both paths, and the corpus must
+// exercise both branches (hits and fallbacks) to mean anything.
+func TestClosedFormMatchesEnumerationRandom(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	const want = 120
+	checked, rejected, hits := 0, 0, 0
+	for i := 0; checked < want && i < 6*want; i++ {
+		src := RandomNest(rnd, GenConfig{})
+		procs := []int{4, 8, 16}[i%3]
+		hit, err := DiffClosedFormNest(src, procs)
+		if err != nil {
+			if hit {
+				t.Fatalf("nest %d (procs=%d) closed-form hit diverged:\n%s\n%v", i, procs, src, err)
+			}
+			// Parse/analysis/search rejection (degenerate nest, no doall
+			// dimensions) — not a verification failure. A genuine plan
+			// mismatch on the fallback branch would also land here, so
+			// distinguish by the error text.
+			if isVerifyFailure(err) {
+				t.Fatalf("nest %d (procs=%d) diverged:\n%s\n%v", i, procs, src, err)
+			}
+			rejected++
+			continue
+		}
+		checked++
+		if hit {
+			hits++
+		}
+	}
+	if checked < want {
+		t.Fatalf("only %d nests checked (want ≥ %d); %d rejected", checked, want, rejected)
+	}
+	if hits == 0 || hits == checked {
+		t.Errorf("branch coverage skew: %d/%d closed-form hits — the corpus must exercise both the analytic path and the fallback", hits, checked)
+	}
+	t.Logf("checked %d nests: %d closed-form hits, %d fallbacks, %d rejected", checked, hits, checked-hits, rejected)
+}
+
+// isVerifyFailure distinguishes DiffClosedForm's own mismatch reports
+// from pipeline rejections (parse/analysis/search errors).
+func isVerifyFailure(err error) bool {
+	s := err.Error()
+	return len(s) >= len("verify:") && s[:len("verify:")] == "verify:"
+}

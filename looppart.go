@@ -167,6 +167,9 @@ func (pr *Program) Partition(procs int, strategy Strategy) (*Plan, error) {
 // search.skewed with evaluated/pruned counts) into it. Without a trace it
 // behaves exactly like Partition.
 func (pr *Program) PartitionCtx(ctx context.Context, procs int, strategy Strategy) (*Plan, error) {
+	if procs < 1 {
+		return nil, fmt.Errorf("looppart: procs must be >= 1, got %d", procs)
+	}
 	reg := telemetry.Active()
 	if strategy != Auto {
 		sp := reg.StartSpan("partition." + strategy.String())

@@ -105,7 +105,7 @@ func main() {
 	}
 
 	rep := &Report{
-		Note:       "Search, simulator & serving benchmarks (bench_test.go). baseline: before the parallel/pruned search engine and cachesim interning; current: working tree. Serve* rows are current-only (the looppartd serving layer postdates the baseline). Regenerate with scripts/bench.sh.",
+		Note:       "Search, simulator & serving benchmarks (bench_test.go). baseline: search/sim rows before the parallel/pruned search engine and cachesim interning; ServePlanMiss/ServePlanHit before the closed-form fast path and zero-alloc miss pipeline. current: working tree. ServeBatch and ServePlanMissClosedForm are current-only. Regenerate with scripts/bench.sh.",
 		Benchmarks: map[string]*Entry{},
 	}
 	if *baseline != "" {
@@ -306,6 +306,10 @@ func validateReport(path string) error {
 		"RectSearch/P=16", "RectSearch/P=64", "RectSearch/P=256",
 		"SkewSearch/P=16", "SkewSearch/P=64", "SkewSearch/P=256",
 		"CachesimReplay",
+		// Promoted from current-only when the closed-form fast path and
+		// zero-allocation miss pipeline landed: the pre-optimization serve
+		// numbers are the recorded baseline.
+		"ServePlanMiss", "ServePlanHit",
 	}
 	for _, name := range required {
 		e := rep.Benchmarks[name]
@@ -328,9 +332,9 @@ func validateReport(path string) error {
 			return fmt.Errorf("%s: %s speedup %.2f inconsistent with columns (%.2f)", path, name, e.Speedup, want)
 		}
 	}
-	// The serving-layer rows postdate the recorded baseline, so only a
+	// These serving-layer rows have no pre-optimization capture, so only a
 	// current column is required.
-	servingRequired := []string{"ServePlanMiss", "ServePlanHit", "ServeBatch"}
+	servingRequired := []string{"ServeBatch", "ServePlanMissClosedForm"}
 	for _, name := range servingRequired {
 		e := rep.Benchmarks[name]
 		if e == nil {

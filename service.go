@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"looppart/internal/autotune"
@@ -90,7 +91,10 @@ type PlanResponse struct {
 	// Raw is the canonical JSON encoding of the PlanResult; identical
 	// bytes whether the request hit or missed.
 	Raw []byte
-	// Result is the decoded result (shares no state with the cache).
+	// Result is the decoded result. The struct is owned by this response
+	// — callers may reassign its fields — but its slices (tile extents,
+	// matrix rows, slab normal) may be shared with the cache's decoded
+	// entry and are read-only, the same contract as Raw.
 	Result *PlanResult
 }
 
@@ -233,12 +237,17 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 	obs.SpanFrom(ctx).SetAttr("key", key)
 
 	_, csp := obs.StartSpan(ctx, "cache.lookup")
-	raw, ok := s.cache.Get(key)
+	raw, dec, ok := s.cache.GetDecoded(key)
 	if ok {
 		csp.SetAttr("outcome", "hit")
 		csp.End()
 		s.cacheHits.Add(1)
 		reg.Counter("service.plan.cache_hit").Add(1)
+		if pr, ok := dec.(*PlanResult); ok {
+			// The decoded result rides the cache entry: a hit costs a
+			// struct copy, not a JSON parse of bytes we produced ourselves.
+			return responseFromDecoded(key, "hit", raw, pr), nil
+		}
 		return response(key, "hit", raw)
 	}
 	csp.SetAttr("outcome", "miss")
@@ -248,14 +257,22 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 		if raw, ok := s.store.Get(key); ok {
 			// Evicted from memory (or written by another process) but
 			// still on disk: re-admit and serve the stored bytes — the
-			// same canonical encoding a memory hit returns.
+			// same canonical encoding a memory hit returns. The one decode
+			// this path pays is stored alongside the bytes, so subsequent
+			// memory hits skip it.
 			ssp.SetAttr("outcome", "hit")
 			ssp.End()
-			s.cache.Put(key, raw)
+			dec := &PlanResult{}
+			if err := json.Unmarshal(raw, dec); err != nil {
+				s.errors.Add(1)
+				reg.Counter("service.plan.errors").Add(1)
+				return nil, fmt.Errorf("looppart: corrupt cached plan for %s: %v", key, err)
+			}
+			s.cache.PutDecoded(key, raw, dec)
 			s.storeHits.Add(1)
 			s.cacheHits.Add(1)
 			reg.Counter("service.plan.store_hit").Add(1)
-			return response(key, "hit", raw)
+			return responseFromDecoded(key, "hit", raw, dec), nil
 		}
 		ssp.SetAttr("outcome", "miss")
 		ssp.End()
@@ -266,6 +283,7 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 	// coalesced waiter's fn never runs — its span records the owner's
 	// trace ID instead, linking the two trees.
 	sfctx, sfsp := obs.StartSpan(ctx, "singleflight")
+	var searched *PlanResult
 	raw, shared, ownerTrace, err := s.group.Do(sfctx, key, func() ([]byte, error) {
 		s.searches.Add(1)
 		reg.Counter("service.plan.search").Add(1)
@@ -273,16 +291,17 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 		ssp.SetAttr("strategy", strategy.String())
 		ssp.SetAttr("procs", procs)
 		ssp.SetAttr("autotune_k", s.autotuneK)
-		raw, err := s.search(sctx, prog, key, procs, req.Strategy, strategy)
+		raw, dec, err := s.search(sctx, prog, key, procs, req.Strategy, strategy)
 		ssp.End()
 		if err != nil {
 			return nil, err
 		}
 		_, psp := obs.StartSpan(sfctx, "store.persist")
 		psp.SetAttr("bytes", len(raw))
-		s.cache.Put(key, raw)
+		s.cache.PutDecoded(key, raw, dec)
 		s.persist(key, raw)
 		psp.End()
+		searched = dec
 		return raw, nil
 	})
 	if shared {
@@ -306,6 +325,10 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 		status = "dedup"
 		s.cacheHits.Add(1)
 		reg.Counter("service.plan.cache_hit").Add(1)
+	} else if searched != nil {
+		// This caller owned the flight: the result it just encoded is the
+		// result — no round-trip through JSON.
+		return responseFromDecoded(key, status, raw, searched), nil
 	}
 	return response(key, status, raw)
 }
@@ -329,18 +352,14 @@ func (s *Service) Explain(req PlanRequest) (*PlanResponse, string, error) {
 	}
 	key := CanonicalKey(prog, procs, strategy)
 	s.searches.Add(1)
-	raw, err := s.search(context.Background(), prog, key, procs, req.Strategy, strategy)
+	raw, dec, err := s.search(context.Background(), prog, key, procs, req.Strategy, strategy)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, "", err
 	}
-	s.cache.Put(key, raw)
+	s.cache.PutDecoded(key, raw, dec)
 	s.persist(key, raw)
-	resp, err := response(key, "bypass", raw)
-	if err != nil {
-		return nil, "", err
-	}
-	return resp, reg.FormatDecisionTrace(), nil
+	return responseFromDecoded(key, "bypass", raw, dec), reg.FormatDecisionTrace(), nil
 }
 
 // prepare validates and parses the request.
@@ -404,16 +423,17 @@ func (s *Service) Tournament(req PlanRequest) (*autotune.Result, error) {
 			strategy.String(), plan.String())
 	}
 	key := CanonicalKey(prog, procs, strategy)
-	if raw, err := s.encode(plan, res, key, req.Strategy, strategy, procs); err == nil {
-		s.cache.Put(key, raw)
+	if raw, dec, err := s.encode(plan, res, key, req.Strategy, strategy, procs); err == nil {
+		s.cache.PutDecoded(key, raw, dec)
 		s.persist(key, raw)
 	}
 	return res, nil
 }
 
 // search runs the partition search (a measured tournament in autotune
-// mode) and encodes the result canonically.
-func (s *Service) search(ctx context.Context, prog *Program, key string, procs int, requested string, strategy Strategy) ([]byte, error) {
+// mode) and encodes the result canonically, returning both the canonical
+// bytes and the decoded result they encode.
+func (s *Service) search(ctx context.Context, prog *Program, key string, procs int, requested string, strategy Strategy) ([]byte, *PlanResult, error) {
 	var (
 		plan *Plan
 		res  *autotune.Result
@@ -427,14 +447,20 @@ func (s *Service) search(ctx context.Context, prog *Program, key string, procs i
 		plan, err = prog.PartitionCtx(ctx, procs, strategy)
 	}
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	return s.encode(plan, res, key, requested, strategy, procs)
 }
 
+// encodeBufPool recycles the JSON render buffers: encode copies the
+// canonical bytes out (the cache retains them indefinitely), so the
+// buffer itself can be reused across requests.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // encode renders the canonical JSON for a served plan (res non-nil marks
-// a tournament winner).
-func (s *Service) encode(plan *Plan, res *autotune.Result, key, requested string, strategy Strategy, procs int) ([]byte, error) {
+// a tournament winner), returning the bytes and the PlanResult they
+// encode so callers can cache both without a decode round-trip.
+func (s *Service) encode(plan *Plan, res *autotune.Result, key, requested string, strategy Strategy, procs int) ([]byte, *PlanResult, error) {
 	if requested == "" {
 		requested = strategy.String()
 	}
@@ -475,15 +501,21 @@ func (s *Service) encode(plan *Plan, res *autotune.Result, key, requested string
 			}
 		}
 	}
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	defer encodeBufPool.Put(buf)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
 	enc.SetEscapeHTML(false)
 	if err := enc.Encode(result); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Drop Encode's trailing newline so the stored value is exactly the
-	// JSON object; transports add their own framing.
-	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+	// JSON object; transports add their own framing. Copy out of the
+	// pooled buffer: the cache keeps the returned slice.
+	b := bytes.TrimRight(buf.Bytes(), "\n")
+	raw := make([]byte, len(b))
+	copy(raw, b)
+	return raw, result, nil
 }
 
 // response decodes raw into a PlanResponse.
@@ -493,4 +525,13 @@ func response(key, status string, raw []byte) (*PlanResponse, error) {
 		return nil, fmt.Errorf("looppart: corrupt cached plan for %s: %v", key, err)
 	}
 	return &PlanResponse{Key: key, Status: status, Raw: raw, Result: res}, nil
+}
+
+// responseFromDecoded builds a PlanResponse around an already-decoded
+// result without re-parsing raw. The PlanResult struct is copied so the
+// response owns it; the slices inside stay shared with the cache entry
+// under its read-only contract.
+func responseFromDecoded(key, status string, raw []byte, dec *PlanResult) *PlanResponse {
+	res := *dec
+	return &PlanResponse{Key: key, Status: status, Raw: raw, Result: &res}
 }

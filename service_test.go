@@ -3,6 +3,7 @@ package looppart_test
 import (
 	"bytes"
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -173,5 +174,47 @@ func TestParseStrategy(t *testing.T) {
 	}
 	if _, ok := looppart.ParseStrategy("unknown"); ok {
 		t.Error("ParseStrategy accepted an unknown name")
+	}
+}
+
+// TestServiceDecodedHitMatchesMiss pins the decoded-alongside-bytes cache
+// contract: a hit's Result (served from the cache's decoded entry, no
+// per-hit JSON parse) must equal the miss's Result and re-encode to the
+// exact cached bytes — and each response must own its Result struct, so
+// a caller reassigning fields cannot corrupt later hits.
+func TestServiceDecodedHitMatchesMiss(t *testing.T) {
+	svc := looppart.NewService(looppart.ServiceOptions{})
+	req := looppart.PlanRequest{Source: serviceNest, Procs: 16, Strategy: "rect"}
+
+	miss, err := svc.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := svc.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Status != "hit" {
+		t.Fatalf("second status = %q, want hit", hit.Status)
+	}
+	if !reflect.DeepEqual(miss.Result, hit.Result) {
+		t.Errorf("hit result %+v != miss result %+v", hit.Result, miss.Result)
+	}
+	if hit.Result == miss.Result {
+		t.Error("hit and miss share one Result struct; responses must own theirs")
+	}
+
+	// Clobber the hit's Result struct; the next hit must be pristine.
+	hit.Result.Rendered = "clobbered"
+	hit.Result.Procs = -1
+	again, err := svc.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(miss.Result, again.Result) {
+		t.Errorf("a caller's write leaked into the cache: %+v", again.Result)
+	}
+	if !bytes.Equal(miss.Raw, again.Raw) {
+		t.Error("raw bytes drifted across hits")
 	}
 }
