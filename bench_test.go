@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"looppart"
+	"looppart/internal/cluster"
 	"looppart/internal/experiments"
 	"looppart/internal/footprint"
 	"looppart/internal/paperex"
@@ -241,6 +242,44 @@ func BenchmarkServePlanHit(b *testing.B) {
 		}
 		if !resp.Hit() {
 			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkServePlanPeerFill measures a cross-replica miss: a fresh
+// replica misses locally, fetches the key owner's canonical bytes over
+// HTTP (/v1/peer/plan), validates and admits them. The owner already
+// has the plan cached, so this is the pure peer-fill round-trip a warm
+// fleet pays on a replica's first contact with a key — the alternative
+// to the full search BenchmarkServePlanMiss pays.
+func BenchmarkServePlanPeerFill(b *testing.B) {
+	req := looppart.PlanRequest{
+		Source: paperex.Example8, Params: map[string]int64{"N": 24},
+		Procs: 64, Strategy: "skewed",
+	}
+	owner := looppart.NewService(looppart.ServiceOptions{})
+	ts := httptest.NewServer(server.New(server.Config{Service: owner}).Handler())
+	defer ts.Close()
+	if _, err := owner.Plan(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	// Self is absent from the member list, so every key is peer-owned
+	// and every iteration fills. Hedging off: one measured round-trip.
+	fill := cluster.New(cluster.Options{
+		Self:       "http://bench.invalid",
+		Members:    []string{ts.URL},
+		HedgeDelay: -1,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc := looppart.NewService(looppart.ServiceOptions{PeerFill: fill})
+		resp, err := svc.Plan(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Status != "peer" {
+			b.Fatalf("status %s, want peer", resp.Status)
 		}
 	}
 }

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"looppart"
+	"looppart/internal/cluster"
+	"looppart/internal/server"
+	"looppart/internal/telemetry"
+)
+
+// replica is one in-process fleet member of the cluster loadgen.
+type replica struct {
+	member string
+	svc    *looppart.Service
+	client *cluster.Client
+	hs     *http.Server
+	ln     net.Listener
+}
+
+// bootFleet starts n replicas on ephemeral ports, each serving the full
+// API with a peer-fill client over the same ring — the in-process
+// equivalent of n looppartd processes booted with -peers.
+func bootFleet(n, hotKeys int) ([]*replica, error) {
+	reps := make([]*replica, n)
+	members := make([]string, n)
+	for i := range reps {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, r := range reps[:i] {
+				r.ln.Close()
+			}
+			return nil, err
+		}
+		reps[i] = &replica{ln: ln, member: cluster.MemberName(ln.Addr().String())}
+		members[i] = reps[i].member
+	}
+	for _, r := range reps {
+		r.client = cluster.New(cluster.Options{Self: r.member, Members: members})
+		r.svc = looppart.NewService(looppart.ServiceOptions{
+			PeerFill: r.client,
+			HotKeys:  hotKeys,
+		})
+		srv := server.New(server.Config{
+			Service:  r.svc,
+			Registry: telemetry.New(),
+			Cluster:  r.client,
+		})
+		r.hs = &http.Server{Handler: srv.Handler()}
+		go r.hs.Serve(r.ln)
+	}
+	return reps, nil
+}
+
+// runClusterLoadgen boots cfg.cluster in-process replicas wired into one
+// consistent-hash ring and drives cfg.keys distinct plan keys across all
+// of them, rotating each key over every replica. It verifies the
+// clustering contract as it goes: every response body for a key must be
+// byte-identical regardless of which replica served it, and the
+// fleet-wide search count should approach the distinct-key count.
+func runClusterLoadgen(ctx context.Context, cfg loadgenConfig, out io.Writer) error {
+	if cfg.n < 1 || cfg.c < 1 || cfg.keys < 1 {
+		return fmt.Errorf("cluster loadgen requires -n, -c, and -keys >= 1")
+	}
+	src, err := loadSource(cfg.nestArg)
+	if err != nil {
+		return err
+	}
+	// Distinct keys by distinct processor counts: procs is part of the
+	// canonical key for any nest, so this works for file input as well as
+	// the built-in examples.
+	bodies := make([][]byte, cfg.keys)
+	for i := range bodies {
+		req := looppart.PlanRequest{Source: src, Params: cfg.params, Procs: cfg.procs + i, Strategy: cfg.strategy}
+		if bodies[i], err = json.Marshal(req); err != nil {
+			return err
+		}
+	}
+
+	reps, err := bootFleet(cfg.cluster, cfg.hotKeys)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		for _, r := range reps {
+			r.hs.Shutdown(shCtx)
+		}
+	}()
+	fmt.Fprintf(out, "loadgen: fleet of %d replicas, %d distinct keys\n", len(reps), cfg.keys)
+
+	var (
+		next      atomic.Int64
+		okCount   atomic.Int64
+		shed      atomic.Int64
+		failed    atomic.Int64
+		firstErr  atomic.Pointer[string]
+		perOK     = make([]atomic.Int64, len(reps))
+		perHits   = make([]atomic.Int64, len(reps))
+		canonMu   sync.Mutex
+		canonical = make([][]byte, cfg.keys)
+		client    = &http.Client{Timeout: 60 * time.Second}
+	)
+	recordErr := func(msg string) {
+		failed.Add(1)
+		firstErr.CompareAndSwap(nil, &msg)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(cfg.c)
+	for w := 0; w < cfg.c; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				seq := int(next.Add(1)) - 1
+				if seq >= cfg.n || ctx.Err() != nil {
+					return
+				}
+				// Walk each key across every replica: consecutive requests
+				// for a key land on different members, exercising owner
+				// serves, peer fills, and post-fill local hits alike.
+				k := seq % cfg.keys
+				r := (seq / cfg.keys) % len(reps)
+				resp, err := client.Post(reps[r].member+"/v1/plan", "application/json", bytes.NewReader(bodies[k]))
+				if err != nil {
+					recordErr(err.Error())
+					continue
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					recordErr(err.Error())
+					continue
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					// Admission control shedding under the worker burst is
+					// expected behavior, not a fleet-invariant violation.
+					shed.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					recordErr(fmt.Sprintf("replica %d status %d: %s", r, resp.StatusCode, raw))
+					continue
+				}
+				okCount.Add(1)
+				perOK[r].Add(1)
+				if st := resp.Header.Get("X-Plancache"); st == "hit" || st == "dedup" || st == "hot" || st == "peer" {
+					perHits[r].Add(1)
+				}
+				canonMu.Lock()
+				if canonical[k] == nil {
+					canonical[k] = raw
+				} else if !bytes.Equal(canonical[k], raw) {
+					canonMu.Unlock()
+					recordErr(fmt.Sprintf("key %d: replica %d served different bytes than first response", k, r))
+					continue
+				}
+				canonMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	done := okCount.Load() + shed.Load() + failed.Load()
+	fmt.Fprintf(out, "loadgen: %d requests in %v (%.0f/s aggregate), %d ok, %d shed, %d failed\n",
+		done, wall.Round(time.Millisecond), float64(done)/wall.Seconds(), okCount.Load(), shed.Load(), failed.Load())
+	var fleetSearches, fleetPeerFills, fleetHot int64
+	for i, r := range reps {
+		st := r.svc.Stats()
+		fleetSearches += st.Searches
+		fleetPeerFills += st.PeerHits
+		if st.Hot != nil {
+			fleetHot += st.HotHits
+		}
+		ok := perOK[i].Load()
+		rate := 0.0
+		if ok > 0 {
+			rate = 100 * float64(perHits[i].Load()) / float64(ok)
+		}
+		fmt.Fprintf(out, "loadgen: replica %d (%s): %d ok, %.0f%% hits, %d searches, %d peer fills, ring share %.0f%%\n",
+			i, r.member, ok, rate, st.Searches, st.PeerHits, 100*r.client.Stats().SelfFraction)
+	}
+	fmt.Fprintf(out, "loadgen: fleet searched %d times for %d distinct keys (%d peer fills, %d hot hits)\n",
+		fleetSearches, cfg.keys, fleetPeerFills, fleetHot)
+	if failed.Load() > 0 {
+		msg := "see above"
+		if m := firstErr.Load(); m != nil {
+			msg = *m
+		}
+		return fmt.Errorf("cluster loadgen: %d requests failed (first: %s)", failed.Load(), msg)
+	}
+	fmt.Fprintf(out, "loadgen: all responses byte-identical per key across replicas\n")
+	if errors := ctx.Err(); errors != nil && errors != context.Canceled {
+		return errors
+	}
+	return nil
+}

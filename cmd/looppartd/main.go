@@ -23,6 +23,26 @@
 //	                   analytic candidates (0 = pure analytic planning)
 //	-selfcheck         verify every served plan before returning it
 //	                   (equivalent to ?verify=1 on every request)
+//	-peers LIST        cluster mode: comma-separated replica base URLs
+//	                   (host:port or http://host:port), or @FILE to read
+//	                   a peer's portfile (polled until written, so a
+//	                   fleet on ephemeral ports can boot in any order).
+//	                   Keys are consistent-hashed across the fleet; a
+//	                   local miss asks the key-owner replica's
+//	                   /v1/peer/plan before searching itself
+//	-advertise URL     this replica's member name in the ring (default:
+//	                   the bound address); replicas must name each other
+//	                   consistently for their rings to agree
+//	-ring-vnodes N     virtual nodes per ring member (default 64)
+//	-peer-timeout D    peer-fill deadline including the hedge (default 5s)
+//	-peer-hedge D      duplicate a slow peer fill after D (default 250ms;
+//	                   negative disables hedging)
+//	-hot-keys N        pin the N hottest plans in a lock-free tier above
+//	                   the LRU (0 = off); served with X-Plancache: hot
+//	-quota RATE[:BURST] per-tenant token bucket on the planning routes:
+//	                   RATE requests/second with bursts of BURST (default
+//	                   ceil(RATE)); tenants are keyed by the X-Tenant
+//	                   header and shed with 429 + Retry-After
 //	-slo SPEC          per-route latency objective ROUTE=LATENCY[@TARGET]
 //	                   (e.g. /v1/plan=250ms@0.99; repeatable); breaches
 //	                   surface as /metrics burn-rate gauges + exemplars
@@ -56,6 +76,17 @@
 // against the daemon's /debug/flightrec); it exits non-zero if any
 // request failed.
 //
+// Cluster load-generator mode boots its own fleet of N in-process
+// replicas wired into one consistent-hash ring and drives K distinct
+// keys across all of them:
+//
+//	looppartd -loadgen -cluster 3 -keys 8 -n 3000 -c 16 example8
+//
+// It reports aggregate throughput, per-replica hit rates, the
+// fleet-wide search count (which should approach K — each distinct key
+// searched once, wherever it landed), and fails if any key's response
+// body differs between replicas.
+//
 // The nest argument is a built-in example name, a file, or - for stdin.
 package main
 
@@ -83,6 +114,7 @@ import (
 	"looppart"
 	"looppart/internal/autotune"
 	"looppart/internal/cliflag"
+	"looppart/internal/cluster"
 	"looppart/internal/obs"
 	"looppart/internal/paperex"
 	"looppart/internal/server"
@@ -159,6 +191,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	calibrate := fs.String("calibrate", "model", "cost constants: model (paper defaults) or sim (fit by microbenchmark)")
 	autotuneK := fs.Int("autotune", 0, "serve tournament winners over the top-K analytic candidates (0 = analytic)")
 	selfCheck := fs.Bool("selfcheck", false, "verify every served plan before returning it (500 + report on failure)")
+	peers := fs.String("peers", "", "cluster members: comma-separated base URLs or @portfile specs")
+	advertise := fs.String("advertise", "", "this replica's member name in the ring (default: the bound address)")
+	ringVNodes := fs.Int("ring-vnodes", cluster.DefaultVNodes, "virtual nodes per ring member")
+	peerTimeout := fs.Duration("peer-timeout", cluster.DefaultFillTimeout, "peer-fill deadline including the hedge")
+	peerHedge := fs.Duration("peer-hedge", cluster.DefaultHedgeDelay, "duplicate a slow peer fill after this delay (negative = no hedging)")
+	hotKeys := fs.Int("hot-keys", 0, "pin the N hottest plans in a lock-free tier above the LRU (0 = off)")
+	quotaSpec := fs.String("quota", "", "per-tenant rate limit RATE[:BURST] requests/second (empty = off)")
 	spanCap := fs.Int("span-cap", 4096, "retained telemetry spans (0 = unbounded)")
 	eventCap := fs.Int("event-cap", 16384, "retained decision events (0 = unbounded)")
 	var sloSpecs sloFlags
@@ -171,6 +210,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	n := fs.Int("n", 200, "loadgen: total requests")
 	c := fs.Int("c", 4, "loadgen: concurrent workers")
 	batch := fs.Int("batch", 0, "loadgen: items per batch request (0 = single requests)")
+	clusterN := fs.Int("cluster", 0, "loadgen: boot this many in-process replicas and drive them as a fleet")
+	keysN := fs.Int("keys", 4, "loadgen: distinct plan keys to spread across the fleet (cluster mode)")
 	procs := fs.Int("procs", 16, "loadgen: processors in the plan request")
 	strategy := fs.String("strategy", "rect", "loadgen: strategy in the plan request")
 	params := paramFlags{"N": 64, "T": 4}
@@ -182,11 +223,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	if *loadgen {
-		return runLoadgen(ctx, loadgenConfig{
+		cfg := loadgenConfig{
 			url: *url, n: *n, c: *c, batch: *batch,
 			procs: *procs, strategy: *strategy, params: params,
 			nestArg: fs.Args(),
-		}, out)
+			cluster: *clusterN, keys: *keysN, hotKeys: *hotKeys,
+		}
+		if *clusterN > 0 {
+			return runClusterLoadgen(ctx, cfg, out)
+		}
+		return runLoadgen(ctx, cfg, out)
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve mode takes no arguments (use -loadgen to drive load)")
@@ -203,6 +249,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	reg.SetRecordCaps(*spanCap, *eventCap)
 	prev := telemetry.SetActive(reg)
 	defer telemetry.SetActive(prev)
+
+	// Listen (and write the portfile) before anything slow — calibration,
+	// store warm-load, peer resolution: a fleet wired by @portfile specs
+	// needs every replica's portfile on disk before any of them can
+	// resolve its peers, whatever order they boot in.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	bound := ln.Addr().String()
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(bound), 0o644); err != nil {
+			return err
+		}
+	}
 
 	var fp autotune.Fingerprint
 	switch *calibrate {
@@ -225,6 +287,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
+	svcOpts.HotKeys = *hotKeys
+	var clusterClient *cluster.Client
+	if *peers != "" {
+		self := cluster.MemberName(*advertise)
+		if self == "" {
+			self = cluster.MemberName(bound)
+		}
+		members, err := resolvePeers(ctx, *peers)
+		if err != nil {
+			return err
+		}
+		// Self joins the ring too; resolvePeers may also have returned it
+		// (scripts pass every replica the same member list) — the ring
+		// dedups.
+		members = append(members, self)
+		clusterClient = cluster.New(cluster.Options{
+			Self:        self,
+			Members:     members,
+			VNodes:      *ringVNodes,
+			FillTimeout: *peerTimeout,
+			HedgeDelay:  *peerHedge,
+		})
+		svcOpts.PeerFill = clusterClient
+	}
+	quotas, err := parseQuota(*quotaSpec)
+	if err != nil {
+		return err
+	}
 	svc := looppart.NewService(svcOpts)
 	if svcOpts.Store != nil {
 		st := svc.Stats()
@@ -236,6 +326,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *selfCheck {
 		fmt.Fprintln(out, "looppartd: self-check on: every served plan is re-verified")
+	}
+	if clusterClient != nil {
+		cst := clusterClient.Stats()
+		fmt.Fprintf(out, "looppartd: cluster of %d members (%d vnodes each), self %s owns %.1f%% of the ring\n",
+			cst.Members, cst.VNodes, cst.Self, 100*cst.SelfFraction)
+	}
+	if *hotKeys > 0 {
+		fmt.Fprintf(out, "looppartd: hot tier pins the top %d plans\n", *hotKeys)
+	}
+	if quotas != nil {
+		qs := quotas.Stats()
+		fmt.Fprintf(out, "looppartd: per-tenant quota %.4g req/s (burst %.4g)\n", qs.Rate, qs.Burst)
 	}
 	recorder := obs.NewRecorder(*flightrecN)
 	if *flightrecDir != "" {
@@ -269,19 +371,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Logger:       logger,
 		Recorder:     recorder,
 		SLO:          slo,
+		Cluster:      clusterClient,
+		Quotas:       quotas,
 	})
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	bound := ln.Addr().String()
-	if *portfile != "" {
-		if err := os.WriteFile(*portfile, []byte(bound), 0o644); err != nil {
-			ln.Close()
-			return err
-		}
-	}
 	fmt.Fprintf(out, "looppartd: serving on http://%s\n", bound)
 
 	hs := &http.Server{
@@ -306,9 +398,71 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	st := svc.Stats()
-	fmt.Fprintf(out, "looppartd: served %d requests (%d searches, %d cache hits), bye\n",
-		st.Requests, st.Searches, st.CacheHits)
+	if clusterClient != nil {
+		fmt.Fprintf(out, "looppartd: served %d requests (%d searches, %d cache hits, %d peer fills), bye\n",
+			st.Requests, st.Searches, st.CacheHits, st.PeerHits)
+	} else {
+		fmt.Fprintf(out, "looppartd: served %d requests (%d searches, %d cache hits), bye\n",
+			st.Requests, st.Searches, st.CacheHits)
+	}
 	return obsFlags.Flush(reg)
+}
+
+// resolvePeers expands the -peers list into member names. A spec is a
+// replica base URL, or @FILE naming a portfile another replica writes
+// once listening — the boot-order-free way to wire a fleet on ephemeral
+// ports: every replica lists every portfile (its own included; the ring
+// dedups) and polls until they all appear.
+func resolvePeers(ctx context.Context, specs string) ([]string, error) {
+	var members []string
+	deadline := time.Now().Add(10 * time.Second)
+	for _, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		if !strings.HasPrefix(spec, "@") {
+			members = append(members, cluster.MemberName(spec))
+			continue
+		}
+		file := strings.TrimPrefix(spec, "@")
+		for {
+			data, err := os.ReadFile(file)
+			if err == nil && len(bytes.TrimSpace(data)) > 0 {
+				members = append(members, cluster.MemberName(string(bytes.TrimSpace(data))))
+				break
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("peer portfile %s not written within 10s", file)
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(25 * time.Millisecond):
+			}
+		}
+	}
+	return members, nil
+}
+
+// parseQuota parses the -quota spec RATE[:BURST] into a limiter (nil
+// when the spec is empty — quotas off).
+func parseQuota(spec string) (*cluster.Quotas, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	rateS, burstS, _ := strings.Cut(spec, ":")
+	rate, err := strconv.ParseFloat(rateS, 64)
+	if err != nil || rate <= 0 {
+		return nil, fmt.Errorf("bad -quota rate %q (want RATE[:BURST], RATE > 0)", spec)
+	}
+	var burst float64
+	if burstS != "" {
+		if burst, err = strconv.ParseFloat(burstS, 64); err != nil || burst < 1 {
+			return nil, fmt.Errorf("bad -quota burst %q (want >= 1)", spec)
+		}
+	}
+	return cluster.NewQuotas(rate, burst), nil
 }
 
 // loadgenConfig parameterizes one load-generation run.
@@ -320,6 +474,11 @@ type loadgenConfig struct {
 	strategy string
 	params   map[string]int64
 	nestArg  []string
+	// cluster mode: boot this many in-process replicas and spread keys
+	// distinct keys across them (runClusterLoadgen).
+	cluster int
+	keys    int
+	hotKeys int
 }
 
 // loadSource resolves the loadgen nest argument: a built-in example name,
@@ -427,7 +586,7 @@ func runLoadgen(ctx context.Context, cfg loadgenConfig, out io.Writer) error {
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					okCount.Add(1)
-					if st := resp.Header.Get("X-Plancache"); st == "hit" || st == "dedup" {
+					if st := resp.Header.Get("X-Plancache"); st == "hit" || st == "dedup" || st == "hot" || st == "peer" {
 						hits.Add(1)
 					}
 				case resp.StatusCode == http.StatusTooManyRequests:
@@ -461,7 +620,7 @@ func runLoadgen(ctx context.Context, cfg loadgenConfig, out io.Writer) error {
 		}
 		ps := obs.Percentiles(lats, 50, 95, 99)
 		fmt.Fprintf(out, "loadgen: latency mean %v p50 %v p95 %v p99 %v max %v\n",
-			(time.Duration(totalNs.Load())/time.Duration(len(samples))).Round(time.Microsecond),
+			(time.Duration(totalNs.Load()) / time.Duration(len(samples))).Round(time.Microsecond),
 			ps[0].Round(time.Microsecond), ps[1].Round(time.Microsecond),
 			ps[2].Round(time.Microsecond), maxLat.Round(time.Microsecond))
 		if ok := okCount.Load(); ok > 0 {

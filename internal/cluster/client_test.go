@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newPeer starts a fake owner replica serving handler on PeerPlanPath.
+func newPeer(t *testing.T, handler http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc(PeerPlanPath, handler)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// ownedKey finds a key the ring assigns to owner.
+func ownedKey(t *testing.T, r *Ring, owner string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := "rect/p16/" + string(rune('a'+i%26)) + time.Unix(int64(i), 0).UTC().Format("150405") + "x"
+		if r.Owner(key) == owner {
+			return key
+		}
+	}
+	t.Fatal("no key owned by " + owner)
+	return ""
+}
+
+func TestClientFillFetchesFromOwner(t *testing.T) {
+	var gotHop, gotTrace, gotBody atomic.Value
+	ts := newPeer(t, func(w http.ResponseWriter, r *http.Request) {
+		gotHop.Store(r.Header.Get(HopHeader))
+		gotTrace.Store(r.Header.Get("X-Trace-Id"))
+		b := make([]byte, r.ContentLength)
+		r.Body.Read(b)
+		gotBody.Store(string(b))
+		w.Write([]byte(`{"key":"k"}`))
+	})
+	c := New(Options{Self: "http://client", Members: []string{ts.URL}})
+	key := ownedKey(t, c.Ring(), ts.URL)
+	raw, ok := c.Fill(context.Background(), key, []byte(`{"procs":16}`))
+	if !ok {
+		t.Fatal("fill against a healthy owner failed")
+	}
+	if string(raw) != `{"key":"k"}` {
+		t.Fatalf("fill bytes = %q", raw)
+	}
+	if gotHop.Load() != "1" {
+		t.Fatalf("hop header = %v, want 1", gotHop.Load())
+	}
+	if st := c.Stats(); st.Fills != 1 || st.FillFailures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestClientFillSelfOwnedSkips(t *testing.T) {
+	c := New(Options{Self: "http://self", Members: []string{"http://self"}})
+	raw, ok := c.Fill(context.Background(), "anykey", nil)
+	if ok || raw != nil {
+		t.Fatal("self-owned key peer-filled")
+	}
+	if st := c.Stats(); st.SelfOwned != 1 {
+		t.Fatalf("stats = %+v, want SelfOwned 1", st)
+	}
+}
+
+func TestClientFillFailureTripsBreaker(t *testing.T) {
+	ts := newPeer(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	c := New(Options{
+		Self: "http://client", Members: []string{ts.URL},
+		BreakerThreshold: 2, HedgeDelay: -1, FillTimeout: time.Second,
+	})
+	key := ownedKey(t, c.Ring(), ts.URL)
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Fill(context.Background(), key, nil); ok {
+			t.Fatal("fill against a 500 owner succeeded")
+		}
+	}
+	st := c.Stats()
+	if st.FillFailures != 2 {
+		t.Fatalf("fill failures = %d, want 2", st.FillFailures)
+	}
+	if len(st.Breakers) != 1 || st.Breakers[0].State != "open" {
+		t.Fatalf("breaker after threshold failures = %+v, want open", st.Breakers)
+	}
+	// Open breaker: the next fill is skipped without an HTTP request.
+	if _, ok := c.Fill(context.Background(), key, nil); ok {
+		t.Fatal("fill through an open breaker succeeded")
+	}
+	if st := c.Stats(); st.BreakerSkips != 1 {
+		t.Fatalf("breaker skips = %d, want 1", st.BreakerSkips)
+	}
+}
+
+func TestClientFillRecoversThroughHalfOpen(t *testing.T) {
+	var healthy atomic.Bool
+	ts := newPeer(t, func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"key":"k"}`))
+	})
+	c := New(Options{
+		Self: "http://client", Members: []string{ts.URL},
+		BreakerThreshold: 1, BreakerCooldown: 30 * time.Millisecond,
+		HedgeDelay: -1, FillTimeout: time.Second,
+	})
+	key := ownedKey(t, c.Ring(), ts.URL)
+	c.Fill(context.Background(), key, nil) // trips the breaker
+	healthy.Store(true)
+	time.Sleep(60 * time.Millisecond)
+	if _, ok := c.Fill(context.Background(), key, nil); !ok {
+		t.Fatal("half-open probe against a recovered owner failed")
+	}
+	if st := c.Stats(); st.Breakers[0].State != "closed" {
+		t.Fatalf("breaker after recovery = %+v, want closed", st.Breakers)
+	}
+}
+
+// TestClientHedgedFetch: the first request stalls past the hedge delay;
+// the duplicate answers fast, so Fill returns well before the straggler
+// would.
+func TestClientHedgedFetch(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	ts := newPeer(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // the straggler
+		}
+		w.Write([]byte(`{"key":"k"}`))
+	})
+	defer close(release)
+	c := New(Options{
+		Self: "http://client", Members: []string{ts.URL},
+		HedgeDelay: 20 * time.Millisecond, FillTimeout: 5 * time.Second,
+	})
+	key := ownedKey(t, c.Ring(), ts.URL)
+	start := time.Now()
+	raw, ok := c.Fill(context.Background(), key, nil)
+	if !ok {
+		t.Fatal("hedged fill failed")
+	}
+	if string(raw) != `{"key":"k"}` {
+		t.Fatalf("fill bytes = %q", raw)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("hedged fill took %v; the hedge did not overtake the straggler", d)
+	}
+	if st := c.Stats(); st.Hedges != 1 {
+		t.Fatalf("hedges = %d, want 1", st.Hedges)
+	}
+}
+
+func TestClientFillTimesOut(t *testing.T) {
+	ts := newPeer(t, func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	})
+	c := New(Options{
+		Self: "http://client", Members: []string{ts.URL},
+		FillTimeout: 50 * time.Millisecond, HedgeDelay: -1,
+	})
+	key := ownedKey(t, c.Ring(), ts.URL)
+	start := time.Now()
+	if _, ok := c.Fill(context.Background(), key, nil); ok {
+		t.Fatal("fill against a hung owner succeeded")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timed-out fill took %v", d)
+	}
+}
+
+func TestMemberName(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8077":         "http://127.0.0.1:8077",
+		"http://127.0.0.1:8077":  "http://127.0.0.1:8077",
+		"http://127.0.0.1:8077/": "http://127.0.0.1:8077",
+		" 127.0.0.1:1 ":          "http://127.0.0.1:1",
+		"":                       "",
+	}
+	for in, want := range cases {
+		if got := MemberName(in); got != want {
+			t.Errorf("MemberName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AnonTenant is the bucket requests without an X-Tenant header share.
+// Anonymous traffic competes with itself, not with named tenants, so a
+// skewed anonymous burst cannot starve an identified one.
+const AnonTenant = "anon"
+
+// maxTenants bounds the tenant map; once exceeded, full (idle) buckets
+// are pruned. A tenant pruned while full restarts with a full bucket,
+// so pruning never costs anyone tokens.
+const maxTenants = 4096
+
+// Quotas is a per-tenant token-bucket rate limiter for the planning
+// routes: each tenant draws from its own bucket of burst tokens
+// refilled at rate tokens/second, so one tenant's flood sheds with 429
+// while every other tenant keeps planning. A nil *Quotas admits
+// everything, the disabled state. Safe for concurrent use.
+type Quotas struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	tenants map[string]*bucket
+
+	allowed  atomic.Int64
+	rejected atomic.Int64
+}
+
+// bucket is one tenant's token state.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewQuotas returns a limiter granting each tenant rate requests/second
+// with bursts of burst (rate rounded up when burst < 1). A rate <= 0
+// returns nil — the admit-everything limiter.
+func NewQuotas(rate, burst float64) *Quotas {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = math.Max(1, math.Ceil(rate))
+	}
+	return &Quotas{
+		rate:    rate,
+		burst:   burst,
+		now:     time.Now,
+		tenants: make(map[string]*bucket),
+	}
+}
+
+// Allow spends one token from tenant's bucket ("" draws from
+// AnonTenant). When the bucket is empty it reports false and how long
+// until a token accrues — the 429 Retry-After value.
+func (q *Quotas) Allow(tenant string) (bool, time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	if tenant == "" {
+		tenant = AnonTenant
+	}
+	now := q.now()
+	q.mu.Lock()
+	b, ok := q.tenants[tenant]
+	if !ok {
+		if len(q.tenants) >= maxTenants {
+			q.prune()
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.tenants[tenant] = b
+	} else {
+		b.tokens = math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		q.mu.Unlock()
+		q.allowed.Add(1)
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	q.mu.Unlock()
+	q.rejected.Add(1)
+	return false, wait
+}
+
+// prune drops full buckets — tenants idle long enough to have refilled
+// completely — under the caller's lock.
+func (q *Quotas) prune() {
+	now := q.now()
+	for t, b := range q.tenants {
+		if math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds()) >= q.burst {
+			delete(q.tenants, t)
+		}
+	}
+}
+
+// QuotaStats is a point-in-time view of the limiter.
+type QuotaStats struct {
+	Rate     float64 `json:"rate"`
+	Burst    float64 `json:"burst"`
+	Tenants  int     `json:"tenants"`
+	Allowed  int64   `json:"allowed"`
+	Rejected int64   `json:"rejected"`
+}
+
+// Stats returns the current counters (zero value on nil).
+func (q *Quotas) Stats() QuotaStats {
+	if q == nil {
+		return QuotaStats{}
+	}
+	q.mu.Lock()
+	n := len(q.tenants)
+	q.mu.Unlock()
+	return QuotaStats{
+		Rate:     q.rate,
+		Burst:    q.burst,
+		Tenants:  n,
+		Allowed:  q.allowed.Load(),
+		Rejected: q.rejected.Load(),
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestQuotas(rate, burst float64) (*Quotas, *fakeClock) {
+	q := NewQuotas(rate, burst)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q.now = clk.now
+	return q, clk
+}
+
+func TestQuotaBurstThenShed(t *testing.T) {
+	q, _ := newTestQuotas(10, 3)
+	for i := 0; i < 3; i++ {
+		ok, _ := q.Allow("acme")
+		if !ok {
+			t.Fatalf("request %d inside the burst was shed", i)
+		}
+	}
+	ok, retry := q.Allow("acme")
+	if ok {
+		t.Fatal("request beyond the burst admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after = %v, want (0, 1s] at 10 rps", retry)
+	}
+}
+
+func TestQuotaTenantsAreIndependent(t *testing.T) {
+	q, _ := newTestQuotas(10, 1)
+	if ok, _ := q.Allow("noisy"); !ok {
+		t.Fatal("first noisy request shed")
+	}
+	if ok, _ := q.Allow("noisy"); ok {
+		t.Fatal("noisy tenant not shed after exhausting its bucket")
+	}
+	if ok, _ := q.Allow("quiet"); !ok {
+		t.Fatal("quiet tenant shed by the noisy tenant's exhaustion")
+	}
+}
+
+func TestQuotaRefills(t *testing.T) {
+	q, clk := newTestQuotas(10, 1)
+	q.Allow("acme")
+	if ok, _ := q.Allow("acme"); ok {
+		t.Fatal("empty bucket admitted")
+	}
+	clk.advance(150 * time.Millisecond) // 1.5 tokens at 10/s
+	if ok, _ := q.Allow("acme"); !ok {
+		t.Fatal("refilled bucket shed")
+	}
+}
+
+func TestQuotaAnonymousSharesOneBucket(t *testing.T) {
+	q, _ := newTestQuotas(10, 1)
+	if ok, _ := q.Allow(""); !ok {
+		t.Fatal("first anonymous request shed")
+	}
+	if ok, _ := q.Allow(AnonTenant); ok {
+		t.Fatal("anonymous header-less and explicit anon buckets are separate")
+	}
+}
+
+func TestQuotaNilAdmitsEverything(t *testing.T) {
+	var q *Quotas
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.Allow("anyone"); !ok {
+			t.Fatal("nil Quotas shed")
+		}
+	}
+	if st := q.Stats(); st.Allowed != 0 {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	if NewQuotas(0, 5) != nil {
+		t.Fatal("rate 0 should build the nil limiter")
+	}
+}
+
+func TestQuotaStats(t *testing.T) {
+	q, _ := newTestQuotas(10, 1)
+	q.Allow("a")
+	q.Allow("a")
+	q.Allow("b")
+	st := q.Stats()
+	if st.Allowed != 2 || st.Rejected != 1 || st.Tenants != 2 {
+		t.Fatalf("stats = %+v, want 2 allowed / 1 rejected / 2 tenants", st)
+	}
+}
+
+func TestQuotaPrunesIdleTenants(t *testing.T) {
+	q, clk := newTestQuotas(10, 1)
+	for i := 0; i < maxTenants; i++ {
+		q.Allow(time.Unix(int64(i), 0).String())
+	}
+	clk.advance(time.Minute) // everyone refills
+	q.Allow("fresh")
+	if st := q.Stats(); st.Tenants > 2 {
+		t.Fatalf("tenants after prune = %d, want the fresh one (and maybe one survivor)", st.Tenants)
+	}
+}

@@ -1,0 +1,208 @@
+// Package cluster scales the planning service across replicas: a
+// consistent-hash ring assigns every canonical plan key one owner
+// replica, a peer-fill client lets a replica that misses locally fetch
+// the owner's canonical plan bytes instead of searching itself, and
+// per-tenant token buckets shed abusive callers before they reach the
+// planner.
+//
+// The design target is the ROADMAP's "millions of users" fleet: any
+// replica answers any request, but each distinct plan is searched once
+// fleet-wide — the owner searches (its singleflight collapsing duplicate
+// owner-side requests, local and peer-initiated alike), every other
+// replica fills its LRU with the owner's canonical bytes, so responses
+// stay byte-identical everywhere. Membership is static per process
+// (flags at boot); determinism matters more than elasticity here, since
+// two replicas that disagree about ownership merely search twice, never
+// answer differently.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// DefaultVNodes is the virtual-node count per member used when none is
+// configured. 64 vnodes keep the max/mean ownership ratio under ~1.3 for
+// small fleets without making ring construction or the ownership gauge
+// noticeable.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over replica members with virtual
+// nodes. It is immutable after construction and therefore safe for
+// concurrent use without locks. Two rings built from the same member
+// set (in any order) and vnode count agree on every Owner answer, which
+// is what keeps peer fill coherent across a fleet configured replica by
+// replica.
+type Ring struct {
+	members []string
+	vnodes  int
+	points  []ringPoint // sorted by hash, then member
+}
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// and the member it votes for.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over members (deduplicated, order-independent)
+// with vnodes virtual nodes per member (DefaultVNodes when <= 0). An
+// empty member list yields a ring whose Owner is always "".
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		members: uniq,
+		vnodes:  vnodes,
+		points:  make([]ringPoint, 0, len(uniq)*vnodes),
+	}
+	for _, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(m + "#" + strconv.Itoa(v)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// hash64 is FNV-1a over s with a splitmix64 finalizer: stable across
+// processes and Go versions, which ring agreement between independently
+// booted replicas requires (maphash would differ per process). Raw
+// FNV-1a avalanches poorly on near-identical inputs — member#vnode
+// strings differ by a digit or two, and without the finalizer a
+// 3-member ring measured a 68%/25%/7% ownership split.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Members returns the ring's member set, sorted.
+func (r *Ring) Members() []string { return r.members }
+
+// VNodes returns the virtual-node count per member.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the member owning key: the member of the first virtual
+// node at or clockwise of hash(key). When several virtual nodes collide
+// on exactly that hash, the tie breaks by rendezvous hashing —
+// highest-random-weight over (member, key) — so the winner is a
+// deterministic function of the key, not of ring construction order.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	// Collect the members tied at this ring position (hash collisions
+	// across members are astronomically rare but must not make two
+	// replicas disagree).
+	tied := r.points[i].member
+	var ties []string
+	for j := i + 1; j < len(r.points) && r.points[j].hash == r.points[i].hash; j++ {
+		if r.points[j].member != tied {
+			if ties == nil {
+				ties = []string{tied}
+			}
+			ties = append(ties, r.points[j].member)
+		}
+	}
+	if ties == nil {
+		return tied
+	}
+	return rendezvousPick(ties, key)
+}
+
+// rendezvousPick returns the member with the highest hash(member|key) —
+// the highest-random-weight tie-break.
+func rendezvousPick(members []string, key string) string {
+	var (
+		best     string
+		bestHash uint64
+	)
+	for _, m := range members {
+		h := hash64(m + "|" + key)
+		if best == "" || h > bestHash || (h == bestHash && m < best) {
+			best, bestHash = m, h
+		}
+	}
+	return best
+}
+
+// Owners returns up to n distinct members in ring order starting at
+// key's owner — the owner first, then the members a caller would fail
+// over to.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		m := r.points[(i+k)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// OwnedFraction returns the share of the hash circle member owns — the
+// /metrics ring-ownership gauge. The fractions over all members sum to 1
+// (up to float rounding).
+func (r *Ring) OwnedFraction(member string) float64 {
+	if len(r.points) == 0 {
+		return 0
+	}
+	var owned float64
+	for i, p := range r.points {
+		if p.member != member {
+			continue
+		}
+		prev := r.points[(i+len(r.points)-1)%len(r.points)].hash
+		// Wrapping subtraction measures the clockwise arc ending at p,
+		// including the wrap-around arc for the first point. Summed as
+		// float64: a single-member ring owns the full 2^64 circle, which
+		// a uint64 accumulator would wrap to zero.
+		arc := p.hash - prev
+		if arc == 0 && len(r.members) == 1 {
+			// One point owning everything: the telescoping sum collapses.
+			return 1
+		}
+		owned += float64(arc)
+	}
+	return owned / (1 << 63) / 2
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func testMembers(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("http://127.0.0.1:%d", 8000+i)
+	}
+	return m
+}
+
+// TestRingDeterministicAcrossMemberOrder is the fleet-coherence
+// invariant: every replica builds its ring from its own flag order, and
+// all of them must agree on every owner.
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	m := testMembers(5)
+	a := NewRing(m, 64)
+	b := NewRing([]string{m[3], m[1], m[4], m[0], m[2]}, 64)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("rect/p16/key-%d", i)
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("owner disagreement for %s: %s vs %s", key, ao, bo)
+		}
+	}
+}
+
+func TestRingOwnerStableUnderUnrelatedKeys(t *testing.T) {
+	r := NewRing(testMembers(3), 64)
+	key := "skewed/p64/abcdef"
+	want := r.Owner(key)
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(key); got != want {
+			t.Fatalf("owner changed between lookups: %s then %s", want, got)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := testMembers(3)
+	r := NewRing(members, 64)
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("member %s owns %.1f%% of keys; want a roughly even split", m, 100*share)
+		}
+	}
+}
+
+func TestRingOwnedFractionSumsToOne(t *testing.T) {
+	r := NewRing(testMembers(4), 64)
+	var sum float64
+	for _, m := range r.Members() {
+		f := r.OwnedFraction(m)
+		if f <= 0 || f >= 1 {
+			t.Errorf("fraction for %s out of range: %g", m, f)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %g, want 1", sum)
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r := NewRing([]string{"http://a"}, 8)
+	if got := r.Owner("anything"); got != "http://a" {
+		t.Fatalf("single-member ring owner = %q", got)
+	}
+	if f := r.OwnedFraction("http://a"); math.Abs(f-1) > 1e-9 {
+		t.Errorf("single member owns fraction %g, want 1", f)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if got := r.Owners("k", 3); got != nil {
+		t.Fatalf("empty ring owners = %v, want nil", got)
+	}
+}
+
+func TestRingOwnersDistinctAndOwnerFirst(t *testing.T) {
+	r := NewRing(testMembers(3), 64)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%s, 3) = %v", key, owners)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners[0] = %s, Owner = %s", owners[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate member in Owners: %v", owners)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRendezvousPickDeterministic exercises the collision tie-break
+// directly (forcing an FNV collision on the ring itself is impractical).
+func TestRendezvousPickDeterministic(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c"}
+	perm := []string{"http://c", "http://a", "http://b"}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a, b := rendezvousPick(members, key), rendezvousPick(perm, key); a != b {
+			t.Fatalf("tie-break order-dependent for %s: %s vs %s", key, a, b)
+		}
+	}
+	// Different keys must not all pick the same member (HRW spreads).
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[rendezvousPick(members, fmt.Sprintf("key-%d", i))]++
+	}
+	if len(counts) < 2 {
+		t.Errorf("rendezvous tie-break never spread: %v", counts)
+	}
+}
+
+func TestRingDeduplicatesMembers(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://a", "", "http://b"}, 4)
+	if got := len(r.Members()); got != 2 {
+		t.Fatalf("members = %v, want 2 unique", r.Members())
+	}
+}

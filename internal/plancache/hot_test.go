@@ -1,0 +1,126 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHotTierNilIsDisabled(t *testing.T) {
+	var h *HotTier
+	if _, _, ok := h.Get("k"); ok {
+		t.Fatal("nil tier served a hit")
+	}
+	h.Rebuild(NewCache(0)) // must not panic
+	if st := h.Stats(); st != (HotStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	if NewHotTier(0) != nil {
+		t.Fatal("capacity 0 should build the nil tier")
+	}
+}
+
+func TestHotTierPinsHottestServedEntries(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.PutDecoded(key, []byte(fmt.Sprintf("v%d", i)), i)
+		for j := 0; j <= i; j++ {
+			c.Get(key) // k7 hottest, k0 coolest
+		}
+	}
+	c.Put("cold", []byte("never served"))
+
+	h := NewHotTier(3)
+	h.Rebuild(c)
+	if got := h.Len(); got != 3 {
+		t.Fatalf("tier entries = %d, want 3", got)
+	}
+	for _, key := range []string{"k7", "k6", "k5"} {
+		raw, dec, ok := h.Get(key)
+		if !ok {
+			t.Fatalf("hottest key %s missing from the tier", key)
+		}
+		if string(raw) == "" || dec == nil {
+			t.Fatalf("tier entry %s lost value or decoded form", key)
+		}
+	}
+	if _, _, ok := h.Get("k0"); ok {
+		t.Fatal("cool key pinned over hotter ones")
+	}
+	if _, _, ok := h.Get("cold"); ok {
+		t.Fatal("never-served entry pinned")
+	}
+}
+
+func TestHotTierFeedsHitsBackToLRU(t *testing.T) {
+	c := NewCache(0)
+	c.PutDecoded("hot", []byte("v"), nil)
+	c.Get("hot")
+	h := NewHotTier(1)
+	h.Rebuild(c)
+	for i := 0; i < 10; i++ {
+		if _, _, ok := h.Get("hot"); !ok {
+			t.Fatal("pinned key missing")
+		}
+	}
+	h.Rebuild(c)
+	top := c.TopKeys(1)
+	if len(top) != 1 || top[0].Hits != 11 {
+		t.Fatalf("LRU hits after feedback = %+v, want 11 (1 direct + 10 tier)", top)
+	}
+}
+
+func TestHotTierConcurrentGetAndRebuild(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.PutDecoded(key, []byte(key), nil)
+		c.Get(key)
+	}
+	h := NewHotTier(16)
+	h.Rebuild(c)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", (i+g)%32)
+				if raw, _, ok := h.Get(key); ok && string(raw) != key {
+					t.Errorf("tier served wrong bytes for %s: %q", key, raw)
+					return
+				}
+				if i%100 == 0 {
+					h.Rebuild(c)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := h.Stats(); st.Hits == 0 || st.Rebuilds == 0 {
+		t.Fatalf("stats = %+v, want hits and rebuilds", st)
+	}
+}
+
+func TestCacheAddHitsRefreshesRecencyAndRanking(t *testing.T) {
+	c := NewCache(3*(128+2+1) + 10) // room for ~3 tiny entries
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("1"))
+	c.AddHits("a", 5)
+	c.AddHits("missing", 5) // no-op
+	// "a" was refreshed after "b": inserting two more should evict "b"
+	// first.
+	c.Put("c", []byte("1"))
+	c.Put("d", []byte("1"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("AddHits did not refresh recency: a evicted before b")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recent")
+	}
+	top := c.TopEntries(1)
+	if len(top) != 1 || top[0].Key != "a" || top[0].Hits < 5 {
+		t.Fatalf("top entry = %+v, want a with >= 5 hits", top)
+	}
+}

@@ -172,6 +172,59 @@ type KeyStat struct {
 	Bytes int64  `json:"bytes"`
 }
 
+// AddHits credits key's entry with n extra hits and refreshes its
+// recency — the hot tier's rebuild-time feedback, so entries served
+// lock-free above the LRU neither lose their hit ranking nor age toward
+// eviction. A key no longer cached is a no-op. The hits go to the
+// entry's per-key count only, not the cache-wide hit counter: the tier
+// reports its own serves.
+func (c *Cache) AddHits(key string, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry).hits += n
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+}
+
+// TopEntry is one cached entry with its value, for hot-tier rebuilds:
+// unlike Get, collecting it does not promote the entry or count a hit.
+type TopEntry struct {
+	Key     string
+	Raw     []byte
+	Decoded any
+	Hits    int64
+}
+
+// TopEntries returns the k most-hit entries with their (immutable)
+// values, most-hit first with the TopKeys tie-break. One O(n log n)
+// scan under the lock, amortized across a rebuild interval.
+func (c *Cache) TopEntries(k int) []TopEntry {
+	if k <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	all := make([]TopEntry, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		all = append(all, TopEntry{Key: e.key, Raw: e.val, Decoded: e.decoded, Hits: e.hits})
+	}
+	c.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Hits != all[j].Hits {
+			return all[i].Hits > all[j].Hits
+		}
+		return all[i].Key < all[j].Key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
 // TopKeys returns the k most-hit entries, most-hit first (ties broken by
 // key for a deterministic dump). An O(n log n) scan under the lock: this
 // feeds the /debug/cache endpoint, not a serving path.

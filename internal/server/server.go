@@ -10,6 +10,11 @@
 //	POST /v1/plan/batch  {requests: [...]} → {responses: [...]}
 //	POST /v1/autotune    {source, params, procs, strategy} → tournament
 //	                     result (predicted vs measured per candidate)
+//	POST /v1/peer/plan   peer-fill endpoint (internal/cluster): same body
+//	                     as /v1/plan, answered from this replica's caches
+//	                     and search alone — never another peer hop — so a
+//	                     fill is structurally one hop; X-Peer-Hop above
+//	                     cluster.MaxHops is rejected as a loop guard
 //	GET  /healthz        liveness probe
 //	GET  /metrics        Prometheus text exposition of the registry, plus
 //	                     per-route SLO gauges and # EXEMPLAR trace-ID lines
@@ -20,9 +25,10 @@
 //	GET  /debug/slo      per-route objectives, percentiles, burn rates
 //
 // The response body of a non-explain /v1/plan is exactly the cached
-// PlanResult JSON, so a hit is byte-identical to the miss that filled it;
-// how the request was served travels out of band in the X-Plancache
-// header (miss | hit | dedup | bypass).
+// PlanResult JSON, so a hit is byte-identical to the miss that filled it
+// — and, with clustering, byte-identical across replicas; how the
+// request was served travels out of band in the X-Plancache header
+// (miss | hit | hot | dedup | peer | bypass).
 //
 // Every planning route runs under the request-tracing middleware
 // (obs.go): the request's trace ID — accepted from X-Trace-Id or
@@ -32,10 +38,13 @@
 //
 // Admission control: a bounded in-flight semaphore sheds planning load
 // with 429 + Retry-After once MaxInflight requests are being served;
-// request bodies are size-limited; each request's planning work runs
-// under a deadline. Liveness and metrics bypass admission so the service
-// stays observable under overload. Graceful shutdown is the caller's
-// http.Server.Shutdown, which drains in-flight handlers.
+// with Quotas configured, per-tenant token buckets (keyed by the
+// X-Tenant header) shed one tenant's flood the same way before it
+// reaches admission, so other tenants keep planning. Request bodies are
+// size-limited; each request's planning work runs under a deadline.
+// Liveness and metrics bypass admission so the service stays observable
+// under overload. Graceful shutdown is the caller's http.Server.Shutdown,
+// which drains in-flight handlers.
 package server
 
 import (
@@ -46,10 +55,12 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"looppart"
+	"looppart/internal/cluster"
 	"looppart/internal/obs"
 	"looppart/internal/telemetry"
 	"looppart/internal/verify"
@@ -88,6 +99,16 @@ type Config struct {
 	// SLO matches request latencies against per-route objectives and
 	// feeds the /metrics burn-rate gauges. May be nil (no SLO tracking).
 	SLO *obs.SLOTracker
+
+	// Cluster, when non-nil, is this replica's peer-fill client; its ring
+	// ownership, fill counters, and breaker states are mirrored into
+	// /metrics. (The client itself is wired into the Service as its
+	// PeerFiller by the caller — the server only observes it.)
+	Cluster *cluster.Client
+	// Quotas, when non-nil, rate-limits the planning routes per tenant
+	// (X-Tenant header; empty shares cluster.AnonTenant). Exhausted
+	// tenants are shed with 429 + Retry-After before admission.
+	Quotas *cluster.Quotas
 }
 
 // Server routes the planning API. Install via Handler().
@@ -133,6 +154,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/plan", s.traced("/v1/plan", s.handlePlan))
 	s.mux.HandleFunc("/v1/plan/batch", s.traced("/v1/plan/batch", s.handleBatch))
 	s.mux.HandleFunc("/v1/autotune", s.traced("/v1/autotune", s.handleAutotune))
+	s.mux.HandleFunc(cluster.PeerPlanPath, s.traced(cluster.PeerPlanPath, s.handlePeerPlan))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/flightrec", s.handleFlightrec)
@@ -161,6 +183,31 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 func (s *Server) release() {
 	<-s.sem
 	s.cfg.Registry.Gauge("server.inflight").Set(float64(len(s.sem)))
+}
+
+// allowTenant spends one token from the requesting tenant's quota
+// bucket, or sheds the request with 429 + Retry-After. A nil Quotas
+// admits everything. Peer fills (/v1/peer/plan) are replica-to-replica
+// traffic and are not metered here — the originating replica already
+// charged its own caller.
+func (s *Server) allowTenant(w http.ResponseWriter, r *http.Request) bool {
+	tenant := r.Header.Get("X-Tenant")
+	ok, wait := s.cfg.Quotas.Allow(tenant)
+	if ok {
+		return true
+	}
+	s.cfg.Registry.Counter("server.quota_rejected").Add(1)
+	if tenant == "" {
+		tenant = cluster.AnonTenant
+	}
+	if sp := obs.TraceFrom(r.Context()).Root(); sp != nil {
+		sp.SetAttr("quota_tenant", tenant)
+	}
+	secs := int(wait/time.Second) + 1
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("tenant %q over quota, retry in %ds", tenant, secs))
+	return false
 }
 
 // errorBody is the JSON error envelope.
@@ -223,6 +270,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	reg := s.cfg.Registry
 	reg.Counter("server.requests").Add(1)
+	if !s.allowTenant(w, r) {
+		return
+	}
 	if !s.admit(w) {
 		return
 	}
@@ -346,6 +396,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	reg := s.cfg.Registry
 	reg.Counter("server.requests").Add(1)
+	if !s.allowTenant(w, r) {
+		return
+	}
 	if !s.admit(w) {
 		return
 	}
@@ -406,6 +459,9 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 	}
 	reg := s.cfg.Registry
 	reg.Counter("server.requests").Add(1)
+	if !s.allowTenant(w, r) {
+		return
+	}
 	if !s.admit(w) {
 		return
 	}
@@ -437,6 +493,70 @@ func (s *Server) handleAutotune(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
+}
+
+// handlePeerPlan answers a peer replica's fill request: the same body
+// as /v1/plan, served via Service.PlanLocal so this replica never
+// peer-fills in turn — a fill is structurally one hop. Belt and braces,
+// an X-Peer-Hop above cluster.MaxHops is rejected outright, so even a
+// misconfigured fleet (two replicas disagreeing about ownership) cannot
+// forward a request in a loop. The peer's trace ID arrives on
+// X-Trace-Id and is adopted by the tracing middleware, so the owner-side
+// flight record joins the originating request's trace.
+func (s *Server) handlePeerPlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	reg := s.cfg.Registry
+	reg.Counter("server.requests").Add(1)
+	reg.Counter("server.peer_requests").Add(1)
+	if h := r.Header.Get(cluster.HopHeader); h != "" {
+		if hops, err := strconv.Atoi(h); err != nil || hops > cluster.MaxHops {
+			reg.Counter("server.peer_loop_rejected").Add(1)
+			writeError(w, http.StatusLoopDetected,
+				fmt.Sprintf("peer hop count %q exceeds %d", h, cluster.MaxHops))
+			return
+		}
+	}
+	if !s.admit(w) {
+		return
+	}
+	defer s.release()
+	sp := reg.StartSpan("server.peer.plan")
+	defer sp.End()
+	start := time.Now()
+
+	var req looppart.PlanRequest
+	if !s.decode(w, r, &req) {
+		reg.Counter("server.errors").Add(1)
+		return
+	}
+
+	s.explainMu.RLock()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.PlanTimeout)
+	resp, err := s.cfg.Service.PlanLocal(ctx, req)
+	cancel()
+	s.explainMu.RUnlock()
+	if err != nil {
+		reg.Counter("server.errors").Add(1)
+		s.fail(w, r, planStatus(err), err.Error())
+		return
+	}
+	reg.Histogram("server.peer.plan.latency").Observe(time.Since(start))
+	s.publishCacheGauges()
+	sp.SetArg("key", resp.Key)
+	sp.SetArg("cache", resp.Status)
+	if from := r.Header.Get(cluster.FromHeader); from != "" {
+		sp.SetArg("from", from)
+	}
+	root := obs.TraceFrom(r.Context()).Root()
+	root.SetAttr("cache", resp.Status)
+	root.SetAttr("peer_from", r.Header.Get(cluster.FromHeader))
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Plancache", resp.Status)
+	w.Write(resp.Raw)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -486,5 +606,47 @@ func (s *Server) publishCacheGauges() {
 		reg.Gauge("autotune.store.quarantined_entries").Set(float64(st.Store.Quarantined))
 		reg.Gauge("service.store_hits").Set(float64(st.StoreHits))
 		reg.Gauge("service.warm_loaded").Set(float64(st.WarmLoaded))
+	}
+	if st.Hot != nil {
+		reg.Gauge("plancache.hot.entries").Set(float64(st.Hot.Entries))
+		reg.Gauge("plancache.hot.hits").Set(float64(st.Hot.Hits))
+		reg.Gauge("plancache.hot.rebuilds").Set(float64(st.Hot.Rebuilds))
+		reg.Gauge("service.hot_hits").Set(float64(st.HotHits))
+	}
+	s.publishClusterGauges()
+}
+
+// publishClusterGauges mirrors the peer-fill client and quota counters
+// into the registry: ring ownership per member, fill outcomes, breaker
+// positions (0 closed, 1 half-open, 2 open), and quota rejections.
+func (s *Server) publishClusterGauges() {
+	reg := s.cfg.Registry
+	if reg == nil {
+		return
+	}
+	if c := s.cfg.Cluster; c != nil {
+		st := c.Stats()
+		reg.Gauge("cluster.ring.members").Set(float64(st.Members))
+		reg.Gauge("cluster.ring.self_fraction").Set(st.SelfFraction)
+		for _, m := range c.Ring().Members() {
+			reg.Gauge("cluster.ring.owned_fraction." + m).Set(c.Ring().OwnedFraction(m))
+		}
+		reg.Gauge("cluster.peer_fill.fills").Set(float64(st.Fills))
+		reg.Gauge("cluster.peer_fill.fill_failures").Set(float64(st.FillFailures))
+		reg.Gauge("cluster.peer_fill.self_owned").Set(float64(st.SelfOwned))
+		reg.Gauge("cluster.peer_fill.breaker_skips").Set(float64(st.BreakerSkips))
+		reg.Gauge("cluster.peer_fill.hedged").Set(float64(st.Hedges))
+		for _, b := range st.Breakers {
+			reg.Gauge("cluster.breaker." + b.Peer).Set(float64(b.Code))
+		}
+		svc := s.cfg.Service.Stats()
+		reg.Gauge("service.peer_hits").Set(float64(svc.PeerHits))
+		reg.Gauge("service.peer_fallbacks").Set(float64(svc.PeerFallbacks))
+	}
+	if q := s.cfg.Quotas; q != nil {
+		st := q.Stats()
+		reg.Gauge("cluster.quota.tenants").Set(float64(st.Tenants))
+		reg.Gauge("cluster.quota.allowed").Set(float64(st.Allowed))
+		reg.Gauge("cluster.quota.rejected").Set(float64(st.Rejected))
 	}
 }

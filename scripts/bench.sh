@@ -29,7 +29,7 @@ trap 'rm -f "$RAW"' EXIT
 
 # BenchmarkServePlanMiss also matches BenchmarkServePlanMissClosedForm
 # (regex substring), listed explicitly anyway so the suite reads complete.
-go test -run '^$' -bench 'BenchmarkRectSearch|BenchmarkSkewSearch|BenchmarkCachesimReplay|BenchmarkServePlanMiss|BenchmarkServePlanMissClosedForm|BenchmarkServePlanHit|BenchmarkServeBatch' \
+go test -run '^$' -bench 'BenchmarkRectSearch|BenchmarkSkewSearch|BenchmarkCachesimReplay|BenchmarkServePlanMiss|BenchmarkServePlanMissClosedForm|BenchmarkServePlanHit|BenchmarkServePlanPeerFill|BenchmarkServeBatch' \
 	-benchmem -benchtime "$BENCHTIME" . > "$RAW"
 cat "$RAW"
 

@@ -95,9 +95,11 @@ printf 'doall (i, 1, 16)\n A[i] = A[i] + 1\nenddoall\n' \
 echo '== smoke: looppartd serves, caches, and drains =='
 smokedir=$(mktemp -d /tmp/looppartd-smoke.XXXXXX)
 daemon_pid=
+cluster_pids=
 cleanup() {
 	rm -f "$trace" "$metrics"
 	[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+	for p in $cluster_pids; do kill "$p" 2>/dev/null; done
 	rm -rf "$smokedir"
 	return 0
 }
@@ -165,5 +167,68 @@ kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=
 grep -q 'served 4 requests (2 searches, 2 cache hits)' "$smokedir/daemon.log"
+
+echo '== smoke: 3-replica cluster peer-fills, one search fleet-wide =='
+# Three daemons on ephemeral ports, each handed the same three @portfile
+# peer specs (its own included; the ring dedups) — boot order does not
+# matter, each polls until every portfile exists. The same key is then
+# asked of every replica: responses must be byte-identical everywhere,
+# and the drain lines must show exactly one search across the fleet.
+cdir="$smokedir/cluster"
+mkdir "$cdir"
+cluster_peers="@$cdir/p1,@$cdir/p2,@$cdir/p3"
+for i in 1 2 3; do
+	"$smokedir/looppartd" -addr 127.0.0.1:0 -portfile "$cdir/p$i" \
+		-peers "$cluster_peers" -reqlog '' >"$cdir/d$i.log" &
+	cluster_pids="$cluster_pids $!"
+done
+for i in 1 2 3; do
+	j=0
+	while [ ! -s "$cdir/p$i" ]; do
+		j=$((j + 1))
+		if [ "$j" -gt 100 ]; then
+			echo "verify: cluster replica $i never wrote its portfile" >&2
+			cat "$cdir"/d*.log >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+done
+
+clusterreq='{"source":"doall (i, 1, 96)\n doall (j, 1, 96)\n  A[i,j] = B[i,j] + B[i+3,j+1]\n enddoall\nenddoall","procs":12,"strategy":"rect"}'
+for i in 1 2 3; do
+	caddr=$(cat "$cdir/p$i")
+	curl -sf -D "$cdir/hdr$i" -o "$cdir/resp$i" \
+		-H 'Content-Type: application/json' --data "$clusterreq" "http://$caddr/v1/plan"
+done
+# Byte-identity across the fleet: every replica serves the owner's bytes.
+cmp "$cdir/resp1" "$cdir/resp2"
+cmp "$cdir/resp1" "$cdir/resp3"
+# Every response came from the clustering paths: the owner's search
+# (miss), a peer fill (peer), or a local hit after the owner searched
+# on a fill's behalf (hit).
+for i in 1 2 3; do
+	grep -qiE '^x-plancache: (miss|peer|hit)' "$cdir/hdr$i" || {
+		echo "verify: replica $i served an unexpected X-Plancache status" >&2
+		cat "$cdir/hdr$i" >&2
+		exit 1
+	}
+done
+grep -qi '^x-plancache: peer' "$cdir"/hdr1 "$cdir"/hdr2 "$cdir"/hdr3 || {
+	echo 'verify: no replica served a peer fill' >&2
+	exit 1
+}
+
+# Clean SIGTERM drain for each replica, then the fleet-wide invariant:
+# the three drain lines sum to exactly one search.
+for p in $cluster_pids; do kill -TERM "$p"; done
+for p in $cluster_pids; do wait "$p"; done
+cluster_pids=
+fleet_searches=$(grep -ho '[0-9]* searches' "$cdir"/d*.log | awk '{s += $1} END {print s}')
+[ "$fleet_searches" = 1 ] || {
+	echo "verify: fleet searched $fleet_searches times for one key, want 1" >&2
+	cat "$cdir"/d*.log >&2
+	exit 1
+}
 
 echo 'verify: OK'

@@ -86,7 +86,9 @@ type PlanResult struct {
 type PlanResponse struct {
 	Key string
 	// Status is "miss" (this request ran the search), "hit" (served from
-	// the cache), or "dedup" (joined a search another request started).
+	// the cache), "hot" (served from the lock-free hot tier), "dedup"
+	// (joined a search another request started), or "peer" (filled with
+	// the key-owner replica's canonical bytes).
 	Status string
 	// Raw is the canonical JSON encoding of the PlanResult; identical
 	// bytes whether the request hit or missed.
@@ -100,6 +102,18 @@ type PlanResponse struct {
 
 // Hit reports whether the response was served without running a search.
 func (r *PlanResponse) Hit() bool { return r.Status != "miss" }
+
+// PeerFiller fetches a plan's canonical bytes from the replica that
+// owns its key on the cluster's consistent-hash ring (internal/cluster
+// implements it). Fill returns ok=false when this replica should search
+// locally instead: it owns the key itself, the owner's circuit breaker
+// is open, or the owner could not answer in time. reqBody is the
+// marshaled PlanRequest the owner replans from; the returned bytes are
+// the owner's canonical PlanResult encoding, byte-identical to what the
+// owner itself serves.
+type PeerFiller interface {
+	Fill(ctx context.Context, key string, reqBody []byte) ([]byte, bool)
+}
 
 // ServiceOptions configures a Service.
 type ServiceOptions struct {
@@ -122,6 +136,19 @@ type ServiceOptions struct {
 	// replays (0 = infinite, the paper's model). Ignored when
 	// AutotuneK == 0.
 	AutotuneCacheLines int
+	// HotKeys, when > 0, pins the top-N hottest plans in an immutable
+	// lock-free tier above the LRU (plancache.HotTier): a hot hit is an
+	// atomic pointer load plus a map read, no LRU mutex. 0 disables.
+	HotKeys int
+	// HotRebuildEvery is the request cadence at which the hot tier is
+	// re-snapshotted from the LRU's hit counts
+	// (plancache.DefaultHotRebuildEvery when 0).
+	HotRebuildEvery int
+	// PeerFill, when non-nil, lets a local miss ask the key-owner
+	// replica for the canonical bytes before searching. The fill runs
+	// inside the singleflight, so concurrent misses for one key cost at
+	// most one peer round-trip — and, fleet-wide, one search.
+	PeerFill PeerFiller
 }
 
 // Service is the embeddable planning facade behind cmd/looppartd: it
@@ -129,19 +156,25 @@ type ServiceOptions struct {
 // singleflight deduplication, so repeated and concurrent requests for the
 // same nest cost one search. A Service is safe for concurrent use.
 type Service struct {
-	cache       *plancache.Cache
-	group       plancache.Group
+	cache          *plancache.Cache
+	hot            *plancache.HotTier
+	hotEvery       int64
+	group          plancache.Group
+	peer           PeerFiller
 	store          *autotune.Store
 	autotuneK      int
 	fingerprint    autotune.Fingerprint
 	autotuneCLines int
 
-	requests   atomic.Int64
-	searches   atomic.Int64
-	cacheHits  atomic.Int64 // memory hits + singleflight joins
-	storeHits  atomic.Int64 // served from the persistent store
-	errors     atomic.Int64
-	warmLoaded atomic.Int64 // entries loaded from the store at boot
+	requests      atomic.Int64
+	searches      atomic.Int64
+	cacheHits     atomic.Int64 // memory hits + singleflight joins
+	hotHits       atomic.Int64 // served from the lock-free hot tier
+	peerHits      atomic.Int64 // filled from the key-owner replica
+	peerFallbacks atomic.Int64 // peer fill declined/failed, searched locally
+	storeHits     atomic.Int64 // served from the persistent store
+	errors        atomic.Int64
+	warmLoaded    atomic.Int64 // entries loaded from the store at boot
 }
 
 // NewService returns a ready Service. When a store is configured, its
@@ -150,10 +183,16 @@ type Service struct {
 func NewService(opts ServiceOptions) *Service {
 	s := &Service{
 		cache:          plancache.NewCache(opts.CacheBytes),
+		hot:            plancache.NewHotTier(opts.HotKeys),
+		hotEvery:       int64(opts.HotRebuildEvery),
+		peer:           opts.PeerFill,
 		store:          opts.Store,
 		autotuneK:      opts.AutotuneK,
 		fingerprint:    opts.Fingerprint,
 		autotuneCLines: opts.AutotuneCacheLines,
+	}
+	if s.hotEvery <= 0 {
+		s.hotEvery = plancache.DefaultHotRebuildEvery
 	}
 	if s.store != nil {
 		var loaded int64
@@ -175,6 +214,15 @@ type ServiceStats struct {
 	// CacheHits counts requests served without a search of their own:
 	// plan-cache hits plus singleflight joins.
 	CacheHits int64 `json:"cache_hits"`
+	// HotHits counts requests served from the lock-free hot tier
+	// (included in CacheHits: a hot hit is still a local cache hit).
+	HotHits int64 `json:"hot_hits,omitempty"`
+	// PeerHits counts misses filled with the key-owner replica's
+	// canonical bytes instead of a local search.
+	PeerHits int64 `json:"peer_hits,omitempty"`
+	// PeerFallbacks counts misses where the peer fill declined or
+	// failed and the search ran locally after all.
+	PeerFallbacks int64 `json:"peer_fallbacks,omitempty"`
 	// StoreHits counts requests served from the persistent store after
 	// missing the in-memory cache (e.g. post-eviction).
 	StoreHits int64 `json:"store_hits,omitempty"`
@@ -182,19 +230,27 @@ type ServiceStats struct {
 	WarmLoaded int64                `json:"warm_loaded,omitempty"`
 	Errors     int64                `json:"errors"`
 	Cache      plancache.Stats      `json:"cache"`
+	Hot        *plancache.HotStats  `json:"hot,omitempty"`
 	Store      *autotune.StoreStats `json:"store,omitempty"`
 }
 
 // Stats returns the current counters.
 func (s *Service) Stats() ServiceStats {
 	st := ServiceStats{
-		Requests:   s.requests.Load(),
-		Searches:   s.searches.Load(),
-		CacheHits:  s.cacheHits.Load(),
-		StoreHits:  s.storeHits.Load(),
-		WarmLoaded: s.warmLoaded.Load(),
-		Errors:     s.errors.Load(),
-		Cache:      s.cache.Stats(),
+		Requests:      s.requests.Load(),
+		Searches:      s.searches.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		HotHits:       s.hotHits.Load(),
+		PeerHits:      s.peerHits.Load(),
+		PeerFallbacks: s.peerFallbacks.Load(),
+		StoreHits:     s.storeHits.Load(),
+		WarmLoaded:    s.warmLoaded.Load(),
+		Errors:        s.errors.Load(),
+		Cache:         s.cache.Stats(),
+	}
+	if s.hot != nil {
+		hs := s.hot.Stats()
+		st.Hot = &hs
 	}
 	if s.store != nil {
 		ss := s.store.Stats()
@@ -220,10 +276,37 @@ func (s *Service) CacheStats() plancache.Stats { return s.cache.Stats() }
 // Plan answers req, serving from the cache when possible. ctx bounds only
 // this caller's wait: an in-flight search continues after ctx expires and
 // still fills the cache. Errors are not cached.
+//
+// With a PeerFiller configured, a miss asks the key-owner replica
+// before searching; with a hot tier, the hottest keys are served above
+// the LRU without taking its lock.
 func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
-	s.requests.Add(1)
+	return s.plan(ctx, req, true)
+}
+
+// PlanLocal is Plan without the peer-fill hop: the answer is produced
+// from this replica's caches and search alone. It is what the
+// /v1/peer/plan handler serves, so a fill is structurally one hop —
+// an owner never forwards a peer's question to a third replica.
+func (s *Service) PlanLocal(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
+	return s.plan(ctx, req, false)
+}
+
+// RebuildHot re-snapshots the hot tier from the LRU immediately (the
+// service refreshes it every HotRebuildEvery requests on its own).
+func (s *Service) RebuildHot() {
+	s.hot.Rebuild(s.cache)
+}
+
+func (s *Service) plan(ctx context.Context, req PlanRequest, allowPeer bool) (*PlanResponse, error) {
+	n := s.requests.Add(1)
 	reg := telemetry.Active()
 	reg.Counter("service.plan.requests").Add(1)
+	if s.hot != nil && n%s.hotEvery == 0 {
+		// Periodic snapshot refresh; hits between rebuilds serve the
+		// previous snapshot lock-free.
+		s.hot.Rebuild(s.cache)
+	}
 
 	prog, procs, strategy, err := s.prepare(req)
 	if err != nil {
@@ -235,6 +318,17 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 	// Stamp the canonical key on the enclosing request span (the server's
 	// root), so a flight record is findable by key.
 	obs.SpanFrom(ctx).SetAttr("key", key)
+
+	if raw, dec, ok := s.hot.Get(key); ok {
+		s.hotHits.Add(1)
+		s.cacheHits.Add(1)
+		reg.Counter("service.plan.hot_hit").Add(1)
+		reg.Counter("service.plan.cache_hit").Add(1)
+		if pr, ok := dec.(*PlanResult); ok {
+			return responseFromDecoded(key, "hot", raw, pr), nil
+		}
+		return response(key, "hot", raw)
+	}
 
 	_, csp := obs.StartSpan(ctx, "cache.lookup")
 	raw, dec, ok := s.cache.GetDecoded(key)
@@ -284,7 +378,19 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 	// trace ID instead, linking the two trees.
 	sfctx, sfsp := obs.StartSpan(ctx, "singleflight")
 	var searched *PlanResult
+	var filled *PlanResult
 	raw, shared, ownerTrace, err := s.group.Do(sfctx, key, func() ([]byte, error) {
+		// Peer fill runs inside the flight: the local duplicates already
+		// collapsed here, and on the key-owner replica the fill requests
+		// collapse into its own singleflight — one search fleet-wide.
+		if allowPeer && s.peer != nil {
+			if dec, raw := s.peerFill(sfctx, key, req); dec != nil {
+				filled = dec
+				return raw, nil
+			}
+			s.peerFallbacks.Add(1)
+			reg.Counter("service.plan.peer_fallback").Add(1)
+		}
 		s.searches.Add(1)
 		reg.Counter("service.plan.search").Add(1)
 		sctx, ssp := obs.StartSpan(sfctx, "search")
@@ -325,12 +431,50 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, err
 		status = "dedup"
 		s.cacheHits.Add(1)
 		reg.Counter("service.plan.cache_hit").Add(1)
+	} else if filled != nil {
+		// This caller owned the flight and the key-owner replica supplied
+		// the canonical bytes: no local search ran.
+		s.peerHits.Add(1)
+		reg.Counter("service.plan.peer_hit").Add(1)
+		return responseFromDecoded(key, "peer", raw, filled), nil
 	} else if searched != nil {
 		// This caller owned the flight: the result it just encoded is the
 		// result — no round-trip through JSON.
 		return responseFromDecoded(key, status, raw, searched), nil
 	}
 	return response(key, status, raw)
+}
+
+// peerFill asks the key-owner replica for key's canonical bytes and, on
+// success, admits them locally exactly as a search would — cache and
+// store both — so the next request for key is an ordinary local hit.
+// Returns (nil, nil) when the fill declined (self-owned key, breaker
+// open, owner unreachable) or the owner's bytes failed validation; the
+// caller then searches locally.
+func (s *Service) peerFill(ctx context.Context, key string, req PlanRequest) (*PlanResult, []byte) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil
+	}
+	raw, ok := s.peer.Fill(ctx, key, body)
+	if !ok {
+		return nil, nil
+	}
+	dec := &PlanResult{}
+	if err := json.Unmarshal(raw, dec); err != nil || dec.Key != key {
+		// The owner answered with bytes that are not this key's plan —
+		// version skew or corruption. Never cache the mismatch; search
+		// locally instead.
+		telemetry.Active().Counter("service.plan.peer_bad_fill").Add(1)
+		return nil, nil
+	}
+	_, psp := obs.StartSpan(ctx, "store.persist")
+	psp.SetAttr("bytes", len(raw))
+	psp.SetAttr("source", "peer")
+	s.cache.PutDecoded(key, raw, dec)
+	s.persist(key, raw)
+	psp.End()
+	return dec, raw
 }
 
 // Explain answers req with a fresh, uncached pipeline run and returns the
