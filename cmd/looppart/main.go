@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -125,6 +126,13 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "\n=== partition ===")
 	fmt.Fprintln(out, plan)
+	// The plan's exact communication certificate, one line. Skipped
+	// quietly when the analysis cannot run (e.g. scan budget exceeded on
+	// a huge space) — the plan itself is unaffected.
+	if sum, err := plan.CommSummary(context.Background()); err == nil {
+		fmt.Fprintf(out, "comm: %d words/epoch (max sent %d, mean %.1f, method %s)\n",
+			sum.Words, sum.MaxSent, sum.MeanSent, sum.Method)
+	}
 
 	if reg != nil {
 		// Simulate under the chosen plan so the trace and metrics dump

@@ -191,6 +191,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	calibrate := fs.String("calibrate", "model", "cost constants: model (paper defaults) or sim (fit by microbenchmark)")
 	autotuneK := fs.Int("autotune", 0, "serve tournament winners over the top-K analytic candidates (0 = analytic)")
 	selfCheck := fs.Bool("selfcheck", false, "verify every served plan before returning it (500 + report on failure)")
+	commSets := fs.Bool("commsets", false, "attach the exact communication-set summary to every served plan")
 	peers := fs.String("peers", "", "cluster members: comma-separated base URLs or @portfile specs")
 	advertise := fs.String("advertise", "", "this replica's member name in the ring (default: the bound address)")
 	ringVNodes := fs.Int("ring-vnodes", cluster.DefaultVNodes, "virtual nodes per ring member")
@@ -281,6 +282,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CacheBytes:  *cacheMB << 20,
 		AutotuneK:   *autotuneK,
 		Fingerprint: fp,
+		CommSets:    *commSets,
 	}
 	if *storeDir != "" {
 		if svcOpts.Store, err = autotune.OpenStore(*storeDir, fp); err != nil {

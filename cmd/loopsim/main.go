@@ -13,6 +13,10 @@
 //	-cache LINES   finite cache size in lines; 0 = infinite (default 0)
 //	-mesh          also run the distributed-memory mesh comparison
 //	                (aligned vs hashed data placement)
+//	-commsets      print each strategy's exact per-tile send/receive
+//	               table and run the plan under the message-passing
+//	               executor (measured words must equal the prediction;
+//	               a mismatch is an error)
 //	-trace FILE    write a Chrome trace-event JSON file
 //	-metrics FILE  write a metrics dump (.json = JSON, else text)
 //	-pprof ADDR    serve net/http/pprof on ADDR (e.g. :6060)
@@ -29,6 +33,7 @@ import (
 
 	"looppart"
 	"looppart/internal/cliflag"
+	"looppart/internal/commsets"
 	"looppart/internal/paperex"
 	"looppart/internal/telemetry"
 )
@@ -62,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	procs := fs.Int("procs", 16, "number of processors")
 	cache := fs.Int("cache", 0, "cache lines per processor (0 = infinite)")
 	mesh := fs.Bool("mesh", false, "run the mesh placement comparison")
+	commsetsFlag := fs.Bool("commsets", false, "print per-tile communication sets and run the message-passing executor")
 	var obs cliflag.Obs
 	obs.Register(fs)
 	params := paramFlags{"N": 64, "T": 4}
@@ -124,6 +130,31 @@ func run(args []string, out io.Writer) error {
 	}
 	if err := w.Flush(); err != nil {
 		return err
+	}
+
+	if *commsetsFlag {
+		for _, s := range []looppart.Strategy{looppart.Rect, looppart.CommFree} {
+			plan, err := prog.Partition(*procs, s)
+			if err != nil {
+				continue
+			}
+			comm, err := plan.CommSets(commsets.Options{Materialize: true})
+			if err != nil {
+				fmt.Fprintf(out, "\ncommunication sets (%s): %v\n", s, err)
+				continue
+			}
+			fmt.Fprintf(out, "\ncommunication sets (%s plan):\n%s", s, comm.Table())
+			rep, err := plan.ExecuteMessagePassing()
+			if err != nil {
+				return fmt.Errorf("message-passing run (%s): %w", s, err)
+			}
+			line := fmt.Sprintf("msgexec: %d epochs, predicted %d words, moved %d",
+				rep.Epochs, rep.PredictedWords, rep.WordsMoved)
+			if rep.ValuesChecked {
+				line += ", values match sequential"
+			}
+			fmt.Fprintln(out, line)
+		}
 	}
 
 	if *mesh {

@@ -46,6 +46,27 @@ func TestRunFiniteCache(t *testing.T) {
 	}
 }
 
+// TestRunCommSets: -commsets prints the rect plan's per-tile
+// send/receive table and the message-passing run's word accounting
+// (which run itself enforces measured == predicted).
+func TestRunCommSets(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-procs", "4", "-param", "N=24", "-param", "T=2", "-commsets", "fig9stencil"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"communication sets (rect plan):",
+		"proc", "sent", "recv",
+		"total words/epoch:",
+		"msgexec: 2 epochs, predicted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	for _, args := range [][]string{{}, {"no-such-file"}} {
 		var b strings.Builder

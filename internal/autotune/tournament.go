@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"looppart/internal/cachesim"
+	"looppart/internal/commsets"
 	"looppart/internal/exec"
 	"looppart/internal/footprint"
 	"looppart/internal/layout"
@@ -66,6 +67,11 @@ type Candidate struct {
 	// DeltaPct is (MissesPerProc − PredictedFootprint)/PredictedFootprint
 	// ×100: how far the analytic model was off for this plan.
 	DeltaPct float64 `json:"delta_pct"`
+	// CommWords is the exact inter-processor communication of this plan
+	// in words per epoch (internal/commsets) — the tournament's second
+	// cost axis next to the measured miss count. −1 when the analysis
+	// was unavailable for this candidate.
+	CommWords int64 `json:"comm_words"`
 	// ExecNs is the wall-clock time of the optional real execution.
 	ExecNs int64 `json:"exec_ns,omitempty"`
 }
@@ -93,15 +99,19 @@ func (r *Result) Improved() bool { return r.Winner != 0 }
 func (r *Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "tournament: %s, P=%d, fingerprint %s\n", r.Strategy, r.Procs, r.Fingerprint.ID())
-	fmt.Fprintf(&b, "%-4s %-20s %14s %14s %10s %8s\n",
-		"rank", "tile", "predicted", "measured/proc", "delta", "misses")
+	fmt.Fprintf(&b, "%-4s %-20s %14s %14s %10s %8s %10s\n",
+		"rank", "tile", "predicted", "measured/proc", "delta", "misses", "comm")
 	for i, c := range r.Candidates {
 		mark := "  "
 		if i == r.Winner {
 			mark = "← winner"
 		}
-		fmt.Fprintf(&b, "%-4d %-20s %14.1f %14.1f %9.1f%% %8d %s\n",
-			c.Rank, c.TileDesc, c.PredictedFootprint, c.MissesPerProc, c.DeltaPct, c.MeasuredMisses, mark)
+		comm := "—"
+		if c.CommWords >= 0 {
+			comm = fmt.Sprintf("%d", c.CommWords)
+		}
+		fmt.Fprintf(&b, "%-4d %-20s %14.1f %14.1f %9.1f%% %8d %10s %s\n",
+			c.Rank, c.TileDesc, c.PredictedFootprint, c.MissesPerProc, c.DeltaPct, c.MeasuredMisses, comm, mark)
 	}
 	w := r.WinnerCandidate()
 	if r.Improved() {
@@ -229,9 +239,18 @@ func RunTournamentCtx(ctx context.Context, a *footprint.Analysis, opts Tournamen
 			MeasuredMisses:     met.Misses(),
 			MeasuredCost:       met.Cost,
 			MissesPerProc:      float64(met.Misses()) / float64(opts.Procs),
+			CommWords:          -1,
 		}
 		if c.PredictedFootprint > 0 {
 			c.DeltaPct = 100 * (c.MissesPerProc - c.PredictedFootprint) / c.PredictedFootprint
+		}
+		// Exact communication words per epoch, the second cost axis.
+		// Best-effort: a candidate whose comm sets cannot be computed
+		// still contests on misses.
+		if comm, err := commsets.Compute(commsets.Spec{
+			Analysis: a, Space: space, Procs: opts.Procs, Tile: &tl, Assign: assign,
+		}, commsets.Options{}); err == nil {
+			c.CommWords = comm.TotalWords
 		}
 		if opts.Exec {
 			ns, err := execCandidate(a, opts.Procs, assign)

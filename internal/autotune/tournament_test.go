@@ -154,9 +154,12 @@ func TestTournamentExecAndReport(t *testing.T) {
 		if c.ExecNs <= 0 {
 			t.Errorf("candidate %d: ExecNs = %d, want > 0", i, c.ExecNs)
 		}
+		if c.CommWords < 0 {
+			t.Errorf("candidate %d: comm words unavailable", i)
+		}
 	}
 	rep := res.Report()
-	for _, want := range []string{"rank", "predicted", "winner", res.Fingerprint.ID()} {
+	for _, want := range []string{"rank", "predicted", "comm", "winner", res.Fingerprint.ID()} {
 		if !strings.Contains(rep, want) {
 			t.Errorf("report missing %q:\n%s", want, rep)
 		}

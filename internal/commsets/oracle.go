@@ -1,0 +1,121 @@
+package commsets
+
+import (
+	"fmt"
+
+	"looppart/internal/footprint"
+)
+
+// Oracle is the validation oracle: a deliberately naive recomputation of
+// the per-class transfer counts by brute-force enumeration, sharing no
+// machinery with the engines (no lattice solves, no box algebra, no
+// bitsets — per-processor element sets keyed by formatted coordinates,
+// intersected pairwise). verify.DiffCommSets and FuzzCommSets hold the
+// engines to it element-for-element. Never use it to serve results.
+
+// OracleClass is one class's enumerated ground truth.
+type OracleClass struct {
+	// Pairs maps {from, to} to the exact word count.
+	Pairs map[[2]int]int64
+	Words int64
+}
+
+// OracleResult is the enumerated counterpart of an Analysis.
+type OracleResult struct {
+	Classes     []OracleClass
+	TotalWords  int64
+	UniqueWrite bool
+}
+
+// Oracle enumerates the communication sets of the plan described by
+// spec. Budget-gated like the scan engine.
+func Oracle(spec Spec, pointBudget int64) (*OracleResult, error) {
+	if spec.Assign == nil {
+		return nil, fmt.Errorf("commsets: oracle needs Spec.Assign")
+	}
+	if pointBudget <= 0 {
+		pointBudget = DefaultPointBudget
+	}
+	refs := 0
+	for _, c := range spec.Analysis.Classes {
+		refs += len(c.Refs)
+	}
+	if size := spec.Space.Size(); refs > 0 && size > pointBudget/int64(refs) {
+		return nil, fmt.Errorf("commsets: oracle enumeration of %d points × %d refs exceeds the %d-point budget", size, refs, pointBudget)
+	}
+
+	res := &OracleResult{
+		Classes:     make([]OracleClass, len(spec.Analysis.Classes)),
+		UniqueWrite: true,
+	}
+	for ci := range spec.Analysis.Classes {
+		c := &spec.Analysis.Classes[ci]
+		// Per-processor element sets, one map per (proc, role).
+		writes := make([]map[string]bool, spec.Procs)
+		reads := make([]map[string]bool, spec.Procs)
+		for p := range writes {
+			writes[p] = map[string]bool{}
+			reads[p] = map[string]bool{}
+		}
+		writeCount := map[string]int64{}
+		spec.Space.ForEach(func(p []int64) bool {
+			proc := spec.Assign(p)
+			for ri := range c.Refs {
+				r := &c.Refs[ri]
+				elem := fmt.Sprint(dataCoordsNaive(r, p))
+				if r.Writes > 0 || r.Atomic {
+					writes[proc][elem] = true
+					n := int64(r.Writes)
+					if r.Atomic && n == 0 {
+						n = 1
+					}
+					writeCount[elem] += n
+				}
+				if r.Reads > 0 || r.Atomic {
+					reads[proc][elem] = true
+				}
+			}
+			return true
+		})
+		for _, n := range writeCount {
+			if n > 1 {
+				res.UniqueWrite = false
+			}
+		}
+		oc := OracleClass{Pairs: map[[2]int]int64{}}
+		for w := 0; w < spec.Procs; w++ {
+			for r := 0; r < spec.Procs; r++ {
+				if w == r {
+					continue
+				}
+				var n int64
+				for elem := range writes[w] {
+					if reads[r][elem] {
+						n++
+					}
+				}
+				if n > 0 {
+					oc.Pairs[[2]int{w, r}] = n
+					oc.Words += n
+				}
+			}
+		}
+		res.Classes[ci] = oc
+		res.TotalWords += oc.Words
+	}
+	return res, nil
+}
+
+// dataCoordsNaive recomputes d = p·G + a with plain loops, kept separate
+// from the engines' dataCoords on purpose.
+func dataCoordsNaive(r *footprint.Ref, p []int64) []int64 {
+	d := make([]int64, len(r.A))
+	for j := range d {
+		v := r.A[j]
+		for k := range p {
+			v += r.G.At(k, j) * p[k]
+		}
+		d[j] = v
+	}
+	return d
+}

@@ -256,6 +256,14 @@ func evalExpr(e loopir.Expr, st Store, env map[string]int64) float64 {
 	}
 }
 
+// RunIteration executes the nest body for one iteration environment
+// against st. It is the single-iteration building block the
+// message-passing executor (internal/msgexec) uses to run each
+// processor's iterations against a private store.
+func RunIteration(n *loopir.Nest, st Store, env map[string]int64) {
+	runIteration(n, st, env)
+}
+
 // runIteration executes the body statements for one iteration.
 func runIteration(n *loopir.Nest, st Store, env map[string]int64) {
 	for _, s := range n.Body {

@@ -6,7 +6,9 @@
 //	POST /v1/plan        {source, params, procs, strategy} → PlanResult
 //	                     (?explain=1 adds the decision trace; ?verify=1
 //	                     re-validates the served plan and wraps it with
-//	                     the self-check report, 500 on failure)
+//	                     the self-check report, 500 on failure;
+//	                     ?commsets=1 wraps it with the exact per-epoch
+//	                     communication-set summary)
 //	POST /v1/plan/batch  {requests: [...]} → {responses: [...]}
 //	POST /v1/autotune    {source, params, procs, strategy} → tournament
 //	                     result (predicted vs measured per candidate)
@@ -61,6 +63,7 @@ import (
 
 	"looppart"
 	"looppart/internal/cluster"
+	"looppart/internal/commsets"
 	"looppart/internal/obs"
 	"looppart/internal/telemetry"
 	"looppart/internal/verify"
@@ -308,10 +311,39 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.handleVerified(w, r, req, resp)
 		return
 	}
+	if r.URL.Query().Get("commsets") == "1" {
+		s.handleCommSets(w, r, req, resp)
+		return
+	}
 
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Plancache", resp.Status)
 	w.Write(resp.Raw)
+}
+
+// commResponse wraps a plan result with its communication-set summary.
+// Result is the canonical plan bytes, unchanged by the analysis.
+type commResponse struct {
+	Result json.RawMessage   `json:"result"`
+	Comm   *commsets.Summary `json:"comm"`
+}
+
+// handleCommSets answers ?commsets=1: the served plan plus its exact
+// per-epoch communication certificate, computed on demand from the
+// serialized result (or echoed from the attached summary when the
+// service runs with CommSets on).
+func (s *Server) handleCommSets(w http.ResponseWriter, r *http.Request, req looppart.PlanRequest, resp *looppart.PlanResponse) {
+	reg := s.cfg.Registry
+	sum, err := s.cfg.Service.CommSummary(r.Context(), req, resp.Result)
+	if err != nil {
+		reg.Counter("server.errors").Add(1)
+		s.fail(w, r, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	reg.Counter("server.commsets").Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Plancache", resp.Status)
+	json.NewEncoder(w).Encode(commResponse{Result: resp.Raw, Comm: sum})
 }
 
 // verifyResponse wraps a plan result with its self-check report. Result

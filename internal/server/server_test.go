@@ -262,6 +262,64 @@ func TestServerHitIsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestServerCommSets: ?commsets=1 wraps the untouched canonical plan
+// bytes with the on-demand communication certificate; a RAW nest gets a
+// nonzero word count and the plain response stays free of the field.
+func TestServerCommSets(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const rawNest = `
+doall (i, 1, 64)
+  doall (j, 1, 64)
+    A[i,j] = A[i+1,j+3] + 1
+  enddoall
+enddoall
+`
+	body, _ := json.Marshal(looppart.PlanRequest{Source: rawNest, Procs: 16, Strategy: "rect"})
+	_, plain := postPlan(t, ts.URL, body)
+	if bytes.Contains(plain, []byte(`"comm"`)) {
+		t.Fatalf("default response carries a comm field:\n%s", plain)
+	}
+	resp, err := http.Post(ts.URL+"/v1/plan?commsets=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var cr commResponse
+	if err := json.Unmarshal(data, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cr.Result, plain) {
+		t.Errorf("envelope changed the canonical bytes:\n%s\nvs\n%s", cr.Result, plain)
+	}
+	if cr.Comm == nil || cr.Comm.Words <= 0 {
+		t.Errorf("comm summary = %+v", cr.Comm)
+	}
+}
+
+// TestServerCommSetsOptIn: a service constructed with CommSets attaches
+// the summary to the canonical bytes themselves, hits included.
+func TestServerCommSetsOptIn(t *testing.T) {
+	svc := looppart.NewService(looppart.ServiceOptions{CommSets: true})
+	_, ts := newTestServer(t, Config{Service: svc})
+	body := planBody("rect", 16)
+	_, miss := postPlan(t, ts.URL, body)
+	_, hit := postPlan(t, ts.URL, body)
+	if !bytes.Equal(miss, hit) {
+		t.Fatalf("hit differs from miss:\n%s\nvs\n%s", miss, hit)
+	}
+	var res looppart.PlanResult
+	if err := json.Unmarshal(miss, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm == nil {
+		t.Fatalf("opt-in service served no comm summary: %s", miss)
+	}
+}
+
 func TestServerExplain(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Post(ts.URL+"/v1/plan?explain=1", "application/json", bytes.NewReader(planBody("rect", 16)))

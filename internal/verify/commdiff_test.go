@@ -1,0 +1,95 @@
+package verify
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestDiffCommSetsCorpus holds the communication-set engines to the
+// enumeration oracle, the message-passing executor to the prediction,
+// and — where eligible — the coherence sandwich, on the same seeded
+// 220-nest corpus the footprint differential harness uses.
+func TestDiffCommSetsCorpus(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	const want = 220
+	checked := 0
+	var withComm, values, sandwich, analytic int
+	for i := 0; checked < want; i++ {
+		if i >= 6*want {
+			t.Fatalf("generator kept producing unsupported nests: %d/%d after %d tries", checked, want, i)
+		}
+		src := RandomNest(rnd, GenConfig{})
+		res, err := DiffCommSets(src, 4)
+		if errors.Is(err, ErrCommDiffUnsupported) {
+			// Front-of-pipeline rejection at P=4 (usually an infeasible
+			// 1-D grid); a narrower machine keeps the nest in the corpus.
+			res, err = DiffCommSets(src, 2)
+			if errors.Is(err, ErrCommDiffUnsupported) {
+				continue
+			}
+		}
+		if err != nil {
+			t.Fatalf("comm-set differential failed:\n%s\n%v", src, err)
+		}
+		checked++
+		if res.Words > 0 {
+			withComm++
+		}
+		if res.ValuesChecked {
+			values++
+		}
+		if res.CachesimChecked {
+			sandwich++
+		}
+		if res.Method == "analytic" {
+			analytic++
+		}
+	}
+	t.Logf("%d nests: %d with communication, %d value-checked, %d sandwich-checked, %d fully analytic",
+		checked, withComm, values, sandwich, analytic)
+	// The corpus must actually exercise every leg, not vacuously pass.
+	if withComm < want/10 {
+		t.Fatalf("only %d/%d nests had any communication; corpus too weak", withComm, checked)
+	}
+	if values < 10 {
+		t.Fatalf("only %d nests took the msgexec value-equality leg", values)
+	}
+	if sandwich < 10 {
+		t.Fatalf("only %d nests took the cachesim sandwich leg", sandwich)
+	}
+	if analytic < want/4 {
+		t.Fatalf("only %d/%d nests used the analytic engine", analytic, checked)
+	}
+}
+
+// TestDiffCommSetsStencils pins the differential on the paper-flavored
+// stencils the message-passing tests also use.
+func TestDiffCommSetsStencils(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		comm bool // expect cross-tile dataflow?
+	}{
+		{"forward1d", "doall (i, 0, 63) A[i] = A[i + 1] + B[i] enddoall", true},
+		{"forward2d", "doall (i, 1, 24) doall (j, 1, 24) A[i, j] = A[i + 1, j] + A[i, j + 2] + 1 enddoall enddoall", true},
+		// B read-only, A write-only: no writer→reader flow at all, so the
+		// analysis must certify the plan communication-free.
+		{"readonly2d", "doall (i, 1, 32) doall (j, 1, 32) A[i, j] = B[i, j] + B[i + 1, j + 3] enddoall enddoall", false},
+		{"seqwrapped", "doseq (s, 1, 3) doall (i, 1, 20) doall (j, 1, 20) A[i, j] = A[i + 1, j] + A[i, j + 1] enddoall enddoall enddoseq", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := DiffCommSets(tc.src, 4)
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if (res.Words > 0) != tc.comm {
+				t.Fatalf("predicted %d words/epoch, want comm=%v", res.Words, tc.comm)
+			}
+			if !res.ValuesChecked {
+				t.Fatalf("forward-only stencil should admit the msgexec value check")
+			}
+		})
+	}
+}

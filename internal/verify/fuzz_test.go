@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -78,6 +79,37 @@ func FuzzRectFootprint(f *testing.F) {
 		}
 		if _, err := DiffAnalysis(a, DefaultTolerance); err != nil {
 			t.Fatalf("model disagrees with enumeration:\n%s\n%v", src, err)
+		}
+	})
+}
+
+// FuzzCommSets mutates loopir source text and runs the full
+// communication-set differential on every nest that parses and stays
+// within the enumeration bounds: engines vs oracle to the element, the
+// message-passing executor's measured words vs the prediction, and the
+// coherence sandwich where eligible. Front-of-pipeline rejections
+// (ErrCommDiffUnsupported) are skips; any disagreement is a crash.
+func FuzzCommSets(f *testing.F) {
+	f.Add("doall (i, 0, 15) A[i] = A[i + 2] + 1 enddoall")
+	f.Add("doall (i, 0, 15) A[i] = A[i - 1] + 1 enddoall")
+	f.Add("doall (i, 1, 8) doall (j, 1, 8) B[i, j] = B[i + 1, j + 3] + 1 enddoall enddoall")
+	f.Add("doall (i, 101, 110) doall (j, 1, 10) B[i+j, i-j-1] = B[i+j+4, i-j+3] + 1 enddoall enddoall")
+	f.Add("doseq (s, 1, 3) doall (i, 1, 12) doall (j, 1, 12) A[i, j] = A[i + 1, j] + A[i, j + 1] enddoall enddoall enddoseq")
+	f.Add("doall (i, 0, 12) doall (j, 0, 6) A[i + j] = B[j] + 1 enddoall enddoall")
+	rnd := rand.New(rand.NewSource(7))
+	for i := 0; i < 6; i++ {
+		f.Add(RandomNest(rnd, GenConfig{}))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := loopir.Parse(src, nil)
+		if err != nil || n.Validate() != nil || !fuzzDiffable(n) {
+			t.Skip()
+		}
+		if _, err := DiffCommSets(src, 3); err != nil {
+			if errors.Is(err, ErrCommDiffUnsupported) {
+				t.Skip()
+			}
+			t.Fatalf("comm-set differential failed:\n%s\n%v", src, err)
 		}
 	})
 }

@@ -51,6 +51,22 @@ go test -fuzz=FuzzHNF -fuzztime=10s -run '^$' ./internal/verify
 echo '== fuzz smoke: served-plan pipeline (10s) =='
 go test -fuzz=FuzzPlanPipeline -fuzztime=10s -run '^$' .
 
+echo '== fuzz smoke: communication-set cross-check (10s) =='
+go test -fuzz=FuzzCommSets -fuzztime=10s -run '^$' ./internal/verify
+
+echo '== smoke: loopsim -commsets runs the message-passing executor =='
+# The executor itself enforces measured words == predicted; the smoke
+# checks the CLI surfaces both the table and the accounting line.
+commout=$(go run ./cmd/loopsim -procs 4 -param N=24 -param T=2 -commsets fig9stencil)
+echo "$commout" | grep -q 'total words/epoch:' || {
+	echo 'verify: loopsim -commsets printed no send/receive table' >&2
+	exit 1
+}
+echo "$commout" | grep -q 'msgexec: .* moved' || {
+	echo 'verify: loopsim -commsets printed no msgexec accounting line' >&2
+	exit 1
+}
+
 echo '== smoke: looptune calibration recovers the machine fingerprint =='
 # The sim-calibrated fingerprint must agree with the model constants: the
 # microbenchmarks fit hit/miss/atomic/mesh costs, they do not read them.

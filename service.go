@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"looppart/internal/autotune"
+	"looppart/internal/commsets"
 	"looppart/internal/obs"
 	"looppart/internal/plancache"
 	"looppart/internal/telemetry"
@@ -75,6 +76,12 @@ type PlanResult struct {
 	Autotuned      bool  `json:"autotuned,omitempty"`
 	MeasuredMisses int64 `json:"measured_misses,omitempty"`
 	AutotuneRank   int   `json:"autotune_rank,omitempty"`
+
+	// Comm is the plan's communication certificate — the exact per-epoch
+	// inter-processor word total and its per-processor shape
+	// (internal/commsets) — attached only when the service runs with
+	// ServiceOptions.CommSets, so default encodings are unchanged.
+	Comm *commsets.Summary `json:"comm,omitempty"`
 
 	// Rendered is plan.String() — byte-identical to the partition line
 	// cmd/looppart prints for the same nest/procs/strategy.
@@ -149,6 +156,11 @@ type ServiceOptions struct {
 	// inside the singleflight, so concurrent misses for one key cost at
 	// most one peer round-trip — and, fleet-wide, one search.
 	PeerFill PeerFiller
+	// CommSets attaches each searched plan's communication-set summary
+	// (exact words per epoch) to the served result. Off by default: the
+	// analysis costs a pass over the plan's reference classes, and the
+	// extra field changes the canonical plan bytes.
+	CommSets bool
 }
 
 // Service is the embeddable planning facade behind cmd/looppartd: it
@@ -165,6 +177,7 @@ type Service struct {
 	autotuneK      int
 	fingerprint    autotune.Fingerprint
 	autotuneCLines int
+	commSets       bool
 
 	requests      atomic.Int64
 	searches      atomic.Int64
@@ -190,6 +203,7 @@ func NewService(opts ServiceOptions) *Service {
 		autotuneK:      opts.AutotuneK,
 		fingerprint:    opts.Fingerprint,
 		autotuneCLines: opts.AutotuneCacheLines,
+		commSets:       opts.CommSets,
 	}
 	if s.hotEvery <= 0 {
 		s.hotEvery = plancache.DefaultHotRebuildEvery
@@ -477,6 +491,30 @@ func (s *Service) peerFill(ctx context.Context, key string, req PlanRequest) (*P
 	return dec, raw
 }
 
+// CommSummary computes the communication-set summary for a served plan
+// on demand (the ?commsets=1 envelope): the plan is reconstructed from
+// the serialized result alone — like Verify — so the certificate
+// describes what was actually served. Works regardless of
+// ServiceOptions.CommSets; results already carrying a summary are
+// answered from the attached one without recomputation.
+func (s *Service) CommSummary(ctx context.Context, req PlanRequest, res *PlanResult) (*commsets.Summary, error) {
+	if res.Comm != nil {
+		return res.Comm, nil
+	}
+	prog, procs, _, err := s.prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	if procs != res.Procs {
+		return nil, fmt.Errorf("looppart: request procs %d != served procs %d", procs, res.Procs)
+	}
+	plan, err := prog.PlanFromResult(res)
+	if err != nil {
+		return nil, err
+	}
+	return plan.CommSummary(ctx)
+}
+
 // Explain answers req with a fresh, uncached pipeline run and returns the
 // decision trace alongside the result. It temporarily installs a private
 // telemetry registry to collect the trace, so the caller must guarantee
@@ -567,7 +605,7 @@ func (s *Service) Tournament(req PlanRequest) (*autotune.Result, error) {
 			strategy.String(), plan.String())
 	}
 	key := CanonicalKey(prog, procs, strategy)
-	if raw, dec, err := s.encode(plan, res, key, req.Strategy, strategy, procs); err == nil {
+	if raw, dec, err := s.encode(context.Background(), plan, res, key, req.Strategy, strategy, procs); err == nil {
 		s.cache.PutDecoded(key, raw, dec)
 		s.persist(key, raw)
 	}
@@ -593,7 +631,7 @@ func (s *Service) search(ctx context.Context, prog *Program, key string, procs i
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.encode(plan, res, key, requested, strategy, procs)
+	return s.encode(ctx, plan, res, key, requested, strategy, procs)
 }
 
 // encodeBufPool recycles the JSON render buffers: encode copies the
@@ -604,7 +642,7 @@ var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // encode renders the canonical JSON for a served plan (res non-nil marks
 // a tournament winner), returning the bytes and the PlanResult they
 // encode so callers can cache both without a decode round-trip.
-func (s *Service) encode(plan *Plan, res *autotune.Result, key, requested string, strategy Strategy, procs int) ([]byte, *PlanResult, error) {
+func (s *Service) encode(ctx context.Context, plan *Plan, res *autotune.Result, key, requested string, strategy Strategy, procs int) ([]byte, *PlanResult, error) {
 	if requested == "" {
 		requested = strategy.String()
 	}
@@ -622,6 +660,16 @@ func (s *Service) encode(plan *Plan, res *autotune.Result, key, requested string
 		result.Autotuned = true
 		result.MeasuredMisses = w.MeasuredMisses
 		result.AutotuneRank = w.Rank
+	}
+	if s.commSets {
+		// Best-effort: a plan whose communication sets cannot be computed
+		// (e.g. scan budget exceeded) is still a valid plan; it is served
+		// without the certificate.
+		if sum, err := plan.CommSummary(ctx); err == nil {
+			result.Comm = sum
+		} else {
+			telemetry.Active().Counter("service.plan.comm_errors").Add(1)
+		}
 	}
 	switch {
 	case plan.Slab != nil:
