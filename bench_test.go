@@ -208,6 +208,27 @@ func BenchmarkCommSetsAnalyze(b *testing.B) {
 	}
 }
 
+// BenchmarkLowerBound measures the Dinh–Demmel communication lower
+// bound: per-class lattice offsets once, then a closed-form word count
+// per factorization grid — no iteration-space enumeration at any size.
+func BenchmarkLowerBound(b *testing.B) {
+	a := benchAnalysis(b, benchCommNest, map[string]int64{"N": 512})
+	for _, procs := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("P=%d", procs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lb, err := partition.CommLowerBound(a, procs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if lb.Words == 0 {
+					b.Fatal("expected a nonzero bound on the RAW stencil")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMsgexecRun measures a full message-passing execution —
 // per-processor private stores, bulk-synchronous epochs, exchange of the
 // exact transfer sets, and the value check against the sequential run.

@@ -13,7 +13,8 @@
 //
 //	-procs P        number of processors (default 16)
 //	-strategy S     auto | rect | skewed | comm-free | rows | columns |
-//	                blocks | abraham-hudak (default auto)
+//	                blocks | abraham-hudak | lowerbound | oblivious
+//	                (default auto)
 //	-param N=V      bind a loop-bound parameter (repeatable)
 //	-gen            also emit Go source for the tile kernel
 //	-explain        print the decision trace (why the chosen shape won)
@@ -65,6 +66,8 @@ var strategies = map[string]looppart.Strategy{
 	"columns":       looppart.Columns,
 	"blocks":        looppart.Blocks,
 	"abraham-hudak": looppart.AbrahamHudak,
+	"lowerbound":    looppart.LowerBound,
+	"oblivious":     looppart.Oblivious,
 }
 
 func main() {

@@ -23,6 +23,10 @@
 //	                   analytic candidates (0 = pure analytic planning)
 //	-selfcheck         verify every served plan before returning it
 //	                   (equivalent to ?verify=1 on every request)
+//	-strategies LIST   comma-separated strategy names this daemon will
+//	                   plan (e.g. rect,skew,lowerbound; "skew" is accepted
+//	                   for "skewed"); requests naming any other strategy
+//	                   are rejected. Empty (default) enables all
 //	-peers LIST        cluster mode: comma-separated replica base URLs
 //	                   (host:port or http://host:port), or @FILE to read
 //	                   a peer's portfile (polled until written, so a
@@ -192,6 +196,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	autotuneK := fs.Int("autotune", 0, "serve tournament winners over the top-K analytic candidates (0 = analytic)")
 	selfCheck := fs.Bool("selfcheck", false, "verify every served plan before returning it (500 + report on failure)")
 	commSets := fs.Bool("commsets", false, "attach the exact communication-set summary to every served plan")
+	strategiesList := fs.String("strategies", "", "comma-separated strategy names to enable (empty = all)")
 	peers := fs.String("peers", "", "cluster members: comma-separated base URLs or @portfile specs")
 	advertise := fs.String("advertise", "", "this replica's member name in the ring (default: the bound address)")
 	ringVNodes := fs.Int("ring-vnodes", cluster.DefaultVNodes, "virtual nodes per ring member")
@@ -284,6 +289,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Fingerprint: fp,
 		CommSets:    *commSets,
 	}
+	if *strategiesList != "" {
+		if svcOpts.Strategies, err = parseStrategies(*strategiesList); err != nil {
+			return err
+		}
+	}
 	if *storeDir != "" {
 		if svcOpts.Store, err = autotune.OpenStore(*storeDir, fp); err != nil {
 			return err
@@ -336,6 +346,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *hotKeys > 0 {
 		fmt.Fprintf(out, "looppartd: hot tier pins the top %d plans\n", *hotKeys)
+	}
+	if len(svcOpts.Strategies) > 0 {
+		fmt.Fprintf(out, "looppartd: strategies enabled: %s\n", strings.Join(svcOpts.Strategies, ", "))
 	}
 	if quotas != nil {
 		qs := quotas.Stats()
@@ -445,6 +458,30 @@ func resolvePeers(ctx context.Context, specs string) ([]string, error) {
 		}
 	}
 	return members, nil
+}
+
+// parseStrategies expands the -strategies list into validated strategy
+// names. "skew" is accepted as the common short spelling of "skewed";
+// unknown names fail fast at boot rather than 4xx-ing every request.
+func parseStrategies(list string) ([]string, error) {
+	var names []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "skew" {
+			name = "skewed"
+		}
+		if _, ok := looppart.ParseStrategy(name); !ok {
+			return nil, fmt.Errorf("unknown strategy %q in -strategies", name)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-strategies lists no strategy names")
+	}
+	return names, nil
 }
 
 // parseQuota parses the -quota spec RATE[:BURST] into a limiter (nil

@@ -20,6 +20,9 @@ func (p *Plan) CommSets(opts commsets.Options) (*commsets.Analysis, error) {
 // CommSetsCtx is CommSets with request-scoped tracing: when ctx carries
 // an obs.Trace, the analysis records a "commsets.analyze" span.
 func (p *Plan) CommSetsCtx(ctx context.Context, opts commsets.Options) (*commsets.Analysis, error) {
+	if !p.Concrete() {
+		return nil, p.errSymbolicPlan()
+	}
 	spec := commsets.Spec{
 		Analysis: p.Program.Analysis,
 		Space:    tile.BoundsOf(p.Program.Nest),

@@ -2,6 +2,7 @@ package autotune
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -87,6 +88,12 @@ type Result struct {
 	// misses (ties to lower cost, then to the better analytic rank — so
 	// a tournament that measures no difference ships the analytic plan).
 	Winner int `json:"winner"`
+	// CommLowerBound is the Dinh–Demmel communication lower bound for
+	// the nest over this processor count — the floor every candidate's
+	// CommWords is scored against. 0 when the strategy's candidates are
+	// outside the rectangular-grid family the bound covers (skewed), or
+	// when the nest has no bounded communication structure.
+	CommLowerBound int64 `json:"comm_lower_bound,omitempty"`
 }
 
 // WinnerCandidate returns the winning contestant.
@@ -99,8 +106,14 @@ func (r *Result) Improved() bool { return r.Winner != 0 }
 func (r *Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "tournament: %s, P=%d, fingerprint %s\n", r.Strategy, r.Procs, r.Fingerprint.ID())
-	fmt.Fprintf(&b, "%-4s %-20s %14s %14s %10s %8s %10s\n",
-		"rank", "tile", "predicted", "measured/proc", "delta", "misses", "comm")
+	showOpt := r.CommLowerBound > 0
+	if showOpt {
+		fmt.Fprintf(&b, "%-4s %-20s %14s %14s %10s %8s %10s %7s\n",
+			"rank", "tile", "predicted", "measured/proc", "delta", "misses", "comm", "opt%")
+	} else {
+		fmt.Fprintf(&b, "%-4s %-20s %14s %14s %10s %8s %10s\n",
+			"rank", "tile", "predicted", "measured/proc", "delta", "misses", "comm")
+	}
 	for i, c := range r.Candidates {
 		mark := "  "
 		if i == r.Winner {
@@ -110,8 +123,20 @@ func (r *Result) Report() string {
 		if c.CommWords >= 0 {
 			comm = fmt.Sprintf("%d", c.CommWords)
 		}
+		if showOpt {
+			opt := "—"
+			if c.CommWords > 0 {
+				opt = fmt.Sprintf("%.1f", 100*float64(r.CommLowerBound)/float64(c.CommWords))
+			}
+			fmt.Fprintf(&b, "%-4d %-20s %14.1f %14.1f %9.1f%% %8d %10s %7s %s\n",
+				c.Rank, c.TileDesc, c.PredictedFootprint, c.MissesPerProc, c.DeltaPct, c.MeasuredMisses, comm, opt, mark)
+			continue
+		}
 		fmt.Fprintf(&b, "%-4d %-20s %14.1f %14.1f %9.1f%% %8d %10s %s\n",
 			c.Rank, c.TileDesc, c.PredictedFootprint, c.MissesPerProc, c.DeltaPct, c.MeasuredMisses, comm, mark)
+	}
+	if showOpt {
+		fmt.Fprintf(&b, "communication lower bound: %d words/epoch (opt%% = bound/measured comm)\n", r.CommLowerBound)
 	}
 	w := r.WinnerCandidate()
 	if r.Improved() {
@@ -164,29 +189,25 @@ func RunTournamentCtx(ctx context.Context, a *footprint.Analysis, opts Tournamen
 	var tiles []tile.Tile
 	var predicted []float64
 	var exactness []footprint.Exactness
-	switch opts.Strategy {
-	case "rect":
-		plans, err := partition.OptimizeRectTopK(a, opts.Procs, opts.K)
-		if err != nil {
+	fam, ok := partition.Lookup(opts.Strategy)
+	if ok {
+		plans, err := fam.TopK(a, opts.Procs, opts.K, partition.TopKOptions{MaxSkew: opts.MaxSkew})
+		if errors.Is(err, partition.ErrNoTopK) {
+			ok = false
+		} else if err != nil {
 			return nil, err
 		}
 		for _, p := range plans {
-			tiles = append(tiles, tile.Rect(p.Ext...))
+			if p.Tile == nil {
+				continue // slab plans have no tiling to replay
+			}
+			tiles = append(tiles, *p.Tile)
 			predicted = append(predicted, p.PredictedFootprint)
 			exactness = append(exactness, p.Exactness)
 		}
-	case "skewed":
-		plans, err := partition.OptimizeSkewTopK(a, opts.Procs, opts.MaxSkew, opts.K)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range plans {
-			tiles = append(tiles, p.Tile)
-			predicted = append(predicted, p.PredictedFootprint)
-			exactness = append(exactness, p.Exactness)
-		}
-	default:
-		return nil, fmt.Errorf("autotune: unknown tournament strategy %q (want rect or skewed)", opts.Strategy)
+	}
+	if !ok {
+		return nil, fmt.Errorf("autotune: unknown tournament strategy %q (want rect, skewed, or lowerbound)", opts.Strategy)
 	}
 
 	reg := telemetry.Active()
@@ -194,6 +215,15 @@ func RunTournamentCtx(ctx context.Context, a *footprint.Analysis, opts Tournamen
 	defer sp.End()
 
 	res := &Result{Fingerprint: fp, Strategy: opts.Strategy, Procs: opts.Procs, CacheLines: opts.CacheLines}
+	if opts.Strategy == "rect" || opts.Strategy == "lowerbound" {
+		// Both strategies contest only rectangular-grid tiles — the family
+		// the Dinh–Demmel bound minimizes over — so the bound is a valid
+		// floor for every candidate's CommWords column. Best-effort: a nest
+		// the bound cannot qualify scores without the column.
+		if lb, err := partition.CommLowerBound(a, opts.Procs); err == nil {
+			res.CommLowerBound = lb.Words
+		}
+	}
 	space := tile.BoundsOf(a.Nest)
 	var mm *layout.MemoryMap
 	if fp.LineElems > 1 {

@@ -12,9 +12,12 @@ import (
 // skewed anonymous burst cannot starve an identified one.
 const AnonTenant = "anon"
 
-// maxTenants bounds the tenant map; once exceeded, full (idle) buckets
-// are pruned. A tenant pruned while full restarts with a full bucket,
-// so pruning never costs anyone tokens.
+// maxTenants bounds the tenant map; once exceeded, buckets idle long
+// enough to have refilled completely are pruned. A pruned tenant
+// restarts with a full bucket, so eligibility requires both projected
+// fullness and no token spent within a full refill window — a tenant
+// that just drained its burst cannot launder the drain through a prune
+// and double-dip.
 const maxTenants = 4096
 
 // Quotas is a per-tenant token-bucket rate limiter for the planning
@@ -38,6 +41,12 @@ type Quotas struct {
 type bucket struct {
 	tokens float64
 	last   time.Time
+	// spent is when the tenant last spent a token. Pruning a bucket
+	// forgets its debt (a fresh bucket starts full), so prune only
+	// considers tenants whose last spend is at least a full refill window
+	// in the past — by then a surviving bucket would have refilled anyway
+	// and forgetting it costs nothing.
+	spent time.Time
 }
 
 // NewQuotas returns a limiter granting each tenant rate requests/second
@@ -75,7 +84,7 @@ func (q *Quotas) Allow(tenant string) (bool, time.Duration) {
 		if len(q.tenants) >= maxTenants {
 			q.prune()
 		}
-		b = &bucket{tokens: q.burst, last: now}
+		b = &bucket{tokens: q.burst, last: now, spent: now}
 		q.tenants[tenant] = b
 	} else {
 		b.tokens = math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds())
@@ -83,6 +92,7 @@ func (q *Quotas) Allow(tenant string) (bool, time.Duration) {
 	}
 	if b.tokens >= 1 {
 		b.tokens--
+		b.spent = now
 		q.mu.Unlock()
 		q.allowed.Add(1)
 		return true, 0
@@ -93,12 +103,18 @@ func (q *Quotas) Allow(tenant string) (bool, time.Duration) {
 	return false, wait
 }
 
-// prune drops full buckets — tenants idle long enough to have refilled
-// completely — under the caller's lock.
+// prune drops buckets that are both projected full and untouched for at
+// least a full refill window (burst/rate seconds since the last spend),
+// under the caller's lock. The spend-age gate closes the double-dip
+// loophole: a tenant that drained its burst and went briefly idle is
+// projected full only because of the drain it still owes, and deleting
+// it would hand back a fresh full bucket early.
 func (q *Quotas) prune() {
 	now := q.now()
+	refillWindow := time.Duration(q.burst / q.rate * float64(time.Second))
 	for t, b := range q.tenants {
-		if math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds()) >= q.burst {
+		full := math.Min(q.burst, b.tokens+q.rate*now.Sub(b.last).Seconds()) >= q.burst
+		if full && now.Sub(b.spent) >= refillWindow {
 			delete(q.tenants, t)
 		}
 	}

@@ -90,6 +90,31 @@ func TestQuotaStats(t *testing.T) {
 	}
 }
 
+// TestQuotaPruneSparesRecentSpenders: a tenant that spent a token within
+// the last full refill window must survive the prune even when its
+// bucket is projected full — deleting it would hand back a fresh full
+// bucket early, the double-dip loophole.
+func TestQuotaPruneSparesRecentSpenders(t *testing.T) {
+	q, clk := newTestQuotas(1, 10) // refill window = burst/rate = 10s
+	q.Allow("noisy")               // spends 1 of 10 tokens
+	clk.advance(9 * time.Second)   // projected full (9 + 9 ≥ 10), spent 9s ago
+	q.mu.Lock()
+	q.prune()
+	_, ok := q.tenants["noisy"]
+	q.mu.Unlock()
+	if !ok {
+		t.Fatal("tenant pruned within a refill window of its last spend")
+	}
+	clk.advance(2 * time.Second) // 11s since the spend ≥ the 10s window
+	q.mu.Lock()
+	q.prune()
+	_, ok = q.tenants["noisy"]
+	q.mu.Unlock()
+	if ok {
+		t.Fatal("fully idle, fully refilled tenant survived the prune")
+	}
+}
+
 func TestQuotaPrunesIdleTenants(t *testing.T) {
 	q, clk := newTestQuotas(10, 1)
 	for i := 0; i < maxTenants; i++ {

@@ -44,6 +44,12 @@ type Loop struct {
 	Var  string
 	Lo   int64
 	Hi   int64
+	// SymHi, when non-empty, names a symbolic upper bound (`?N` in the
+	// source): the extent is unknown at planning time. Hi then holds the
+	// placeholder Lo so accidental concrete consumers see a one-iteration
+	// range rather than garbage; strategies that require concrete extents
+	// must reject nests with symbolic loops (Nest.Symbolic).
+	SymHi string
 }
 
 // Extent returns the number of iterations of the loop (hi − lo + 1).
@@ -249,6 +255,17 @@ func (n *Nest) DoallLoops() []Loop {
 	return ls
 }
 
+// Symbolic reports whether any loop's upper bound is symbolic (`?N`):
+// the nest's extents are unknown at planning time.
+func (n *Nest) Symbolic() bool {
+	for _, l := range n.Loops {
+		if l.SymHi != "" {
+			return true
+		}
+	}
+	return false
+}
+
 // SeqLoops returns the sequential loops, outermost first.
 func (n *Nest) SeqLoops() []Loop {
 	var ls []Loop
@@ -314,7 +331,7 @@ func (n *Nest) Validate() error {
 			return fmt.Errorf("loopir: duplicate loop variable %q", l.Var)
 		}
 		seen[l.Var] = true
-		if l.Hi < l.Lo {
+		if l.SymHi == "" && l.Hi < l.Lo {
 			return fmt.Errorf("loopir: loop %s has empty range [%d,%d]", l.Var, l.Lo, l.Hi)
 		}
 		switch l.Kind {
@@ -346,7 +363,11 @@ func (n *Nest) String() string {
 	var b strings.Builder
 	for depth, l := range n.Loops {
 		b.WriteString(strings.Repeat("  ", depth))
-		fmt.Fprintf(&b, "%s (%s, %d, %d)\n", l.Kind, l.Var, l.Lo, l.Hi)
+		if l.SymHi != "" {
+			fmt.Fprintf(&b, "%s (%s, %d, ?%s)\n", l.Kind, l.Var, l.Lo, l.SymHi)
+		} else {
+			fmt.Fprintf(&b, "%s (%s, %d, %d)\n", l.Kind, l.Var, l.Lo, l.Hi)
+		}
 	}
 	indent := strings.Repeat("  ", len(n.Loops))
 	for _, s := range n.Body {

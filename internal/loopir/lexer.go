@@ -15,9 +15,12 @@ import (
 //	enddoall
 //
 // Keywords: doall, doseq, enddoall, enddoseq. Bounds may be integer
-// literals or named parameters supplied to Parse. Statements are
-// assignments; the LHS may carry the fine-grain synchronization marker
-// `l$` (Appendix A). Comments run from `#` or `//` to end of line.
+// literals or named parameters supplied to Parse; an upper bound written
+// `?NAME` stays symbolic — unknown until run time — and only strategies
+// that need no concrete extents (cache-oblivious bisection) can plan the
+// nest. Statements are assignments; the LHS may carry the fine-grain
+// synchronization marker `l$` (Appendix A). Comments run from `#` or
+// `//` to end of line.
 
 type tokenKind int
 
@@ -34,7 +37,8 @@ const (
 	tokPlus
 	tokMinus
 	tokStar
-	tokAtomic // the "l$" marker
+	tokAtomic   // the "l$" marker
+	tokQuestion // the "?" symbolic-bound marker
 )
 
 func (k tokenKind) String() string {
@@ -65,6 +69,8 @@ func (k tokenKind) String() string {
 		return "'*'"
 	case tokAtomic:
 		return "'l$'"
+	case tokQuestion:
+		return "'?'"
 	default:
 		return "unknown token"
 	}
@@ -173,6 +179,9 @@ func (lx *lexer) next() (token, error) {
 	case r == '*':
 		lx.advance()
 		return token{tokStar, "*", line, col}, nil
+	case r == '?':
+		lx.advance()
+		return token{tokQuestion, "?", line, col}, nil
 	case unicode.IsDigit(r):
 		start := lx.pos
 		for lx.pos < len(lx.src) && unicode.IsDigit(lx.peek()) {

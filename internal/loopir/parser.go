@@ -123,6 +123,19 @@ func (p *parser) parseLoopHeader() (Loop, error) {
 	if _, err := p.expect(tokComma); err != nil {
 		return Loop{}, err
 	}
+	// `?NAME` keeps the upper bound symbolic instead of resolving it
+	// against params: the nest's extent is unknown until run time.
+	if p.at(tokQuestion) {
+		p.advance()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return Loop{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return Loop{}, err
+		}
+		return Loop{Kind: kind, Var: v.text, Lo: lo, Hi: lo, SymHi: name.text}, nil
+	}
 	hi, err := p.parseBound()
 	if err != nil {
 		return Loop{}, err

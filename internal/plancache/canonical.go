@@ -45,7 +45,15 @@ func CanonicalNest(n *loopir.Nest) string {
 	for k, l := range n.Loops {
 		v := fmt.Sprintf("i%02d", k)
 		rename[l.Var] = v
-		fmt.Fprintf(&b, "%s %s %d %d\n", l.Kind, v, l.Lo, l.Hi)
+		if l.SymHi != "" {
+			// Symbolic upper bounds keep their name: two nests agreeing
+			// up to the unknown extent share a plan, different unknowns
+			// do not. Concrete nests render exactly as before, so legacy
+			// keys are unchanged.
+			fmt.Fprintf(&b, "%s %s %d ?%s\n", l.Kind, v, l.Lo, l.SymHi)
+		} else {
+			fmt.Fprintf(&b, "%s %s %d %d\n", l.Kind, v, l.Lo, l.Hi)
+		}
 	}
 	accs := n.Accesses()
 	lines := make([]string, 0, len(accs))

@@ -1,6 +1,7 @@
 package plancache
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"looppart/internal/telemetry"
@@ -18,19 +19,29 @@ const DefaultHotRebuildEvery = 512
 //
 // The snapshot is rebuilt out of band (Rebuild) from the LRU's per-entry
 // hit counts; between rebuilds it serves possibly stale membership but
-// never stale bytes, because cache values are immutable and keyed by
-// canonical content — a key's bytes cannot change, only appear or
-// evict. Hits observed by the tier are fed back into the LRU at rebuild
-// time, so pinned entries keep their recency and hit ranking even
-// though serving them bypasses the LRU entirely.
+// never stale bytes: wire Cache.OnInvalidate to Invalidate and an entry
+// the LRU replaced with different bytes or evicted is tombstoned in the
+// live snapshot immediately — Get treats it as a miss and the request
+// falls through to the LRU (or a fresh search). Hits observed by the
+// tier are fed back into the LRU at rebuild time, so pinned entries keep
+// their recency and hit ranking even though serving them bypasses the
+// LRU entirely.
 type HotTier struct {
 	capacity int
 	snap     atomic.Pointer[hotSnap]
 
-	rebuilding atomic.Bool
-	hits       atomic.Int64
-	misses     atomic.Int64
-	rebuilds   atomic.Int64
+	// writeMu serializes snapshot publication (Rebuild) with
+	// tombstoning (Invalidate). Gets never take it. The ordering
+	// argument: an LRU change completes before its Invalidate call, so
+	// either Rebuild's TopEntries scan already saw the new LRU state, or
+	// Invalidate runs after the publication it raced with and tombstones
+	// the stale entry in the snapshot that carried it.
+	writeMu sync.Mutex
+
+	hits         atomic.Int64
+	misses       atomic.Int64
+	rebuilds     atomic.Int64
+	invalidation atomic.Int64
 }
 
 // hotSnap is one immutable snapshot. The map is written only before the
@@ -45,6 +56,10 @@ type hotEntry struct {
 	raw     []byte
 	decoded any
 	hits    atomic.Int64
+	// dead tombstones an entry whose LRU counterpart was replaced or
+	// evicted: the pinned bytes may no longer be what the cache holds,
+	// so Get must miss instead of serving them.
+	dead atomic.Bool
 }
 
 // NewHotTier returns a tier pinning up to capacity entries, or nil when
@@ -65,7 +80,7 @@ func (h *HotTier) Get(key string) ([]byte, any, bool) {
 		return nil, nil, false
 	}
 	e, ok := h.snap.Load().entries[key]
-	if !ok {
+	if !ok || e.dead.Load() {
 		h.misses.Add(1)
 		return nil, nil, false
 	}
@@ -91,10 +106,10 @@ func (h *HotTier) Rebuild(c *Cache) {
 	if h == nil || c == nil {
 		return
 	}
-	if !h.rebuilding.CompareAndSwap(false, true) {
+	if !h.writeMu.TryLock() {
 		return
 	}
-	defer h.rebuilding.Store(false)
+	defer h.writeMu.Unlock()
 	old := h.snap.Load()
 	for key, e := range old.entries {
 		if n := e.hits.Load(); n > 0 {
@@ -116,13 +131,31 @@ func (h *HotTier) Rebuild(c *Cache) {
 	telemetry.Active().Counter("plancache.hot.rebuilds").Add(1)
 }
 
+// Invalidate tombstones key's pinned entry, if any: the LRU replaced or
+// evicted its counterpart, so the snapshot's bytes can no longer be
+// trusted to match the cache. Wire this to Cache.OnInvalidate. Serialized
+// with Rebuild so a publication racing with an LRU change cannot revive
+// stale bytes — whichever runs second sees the other's effect.
+func (h *HotTier) Invalidate(key string) {
+	if h == nil {
+		return
+	}
+	h.writeMu.Lock()
+	defer h.writeMu.Unlock()
+	if e, ok := h.snap.Load().entries[key]; ok && !e.dead.Swap(true) {
+		h.invalidation.Add(1)
+		telemetry.Active().Counter("plancache.hot.invalidations").Add(1)
+	}
+}
+
 // HotStats is a point-in-time view of the tier.
 type HotStats struct {
-	Capacity int   `json:"capacity"`
-	Entries  int   `json:"entries"`
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	Rebuilds int64 `json:"rebuilds"`
+	Capacity      int   `json:"capacity"`
+	Entries       int   `json:"entries"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Rebuilds      int64 `json:"rebuilds"`
+	Invalidations int64 `json:"invalidations"`
 }
 
 // Stats returns the current counters (zero value on nil).
@@ -131,10 +164,11 @@ func (h *HotTier) Stats() HotStats {
 		return HotStats{}
 	}
 	return HotStats{
-		Capacity: h.capacity,
-		Entries:  h.Len(),
-		Hits:     h.hits.Load(),
-		Misses:   h.misses.Load(),
-		Rebuilds: h.rebuilds.Load(),
+		Capacity:      h.capacity,
+		Entries:       h.Len(),
+		Hits:          h.hits.Load(),
+		Misses:        h.misses.Load(),
+		Rebuilds:      h.rebuilds.Load(),
+		Invalidations: h.invalidation.Load(),
 	}
 }

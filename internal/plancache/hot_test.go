@@ -2,7 +2,9 @@ package plancache
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -123,4 +125,127 @@ func TestCacheAddHitsRefreshesRecencyAndRanking(t *testing.T) {
 	if len(top) != 1 || top[0].Key != "a" || top[0].Hits < 5 {
 		t.Fatalf("top entry = %+v, want a with >= 5 hits", top)
 	}
+}
+
+// TestHotTierInvalidatedOnReplace: a hot key whose LRU entry is replaced
+// with different bytes must stop serving from the snapshot immediately —
+// stale pinned bytes until the next rebuild was the bug.
+func TestHotTierInvalidatedOnReplace(t *testing.T) {
+	c := NewCache(0)
+	h := NewHotTier(2)
+	c.OnInvalidate(h.Invalidate)
+
+	c.PutDecoded("k", []byte("v1"), "d1")
+	c.Get("k")
+	h.Rebuild(c)
+	if raw, _, ok := h.Get("k"); !ok || string(raw) != "v1" {
+		t.Fatalf("tier should serve v1 before the replace, got %q ok=%v", raw, ok)
+	}
+
+	c.PutDecoded("k", []byte("v2"), "d2")
+	if raw, _, ok := h.Get("k"); ok {
+		t.Fatalf("tier served %q after the LRU replaced the entry", raw)
+	}
+	if st := h.Stats(); st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want 1", st.Invalidations)
+	}
+
+	// Same-bytes re-puts (the canonical-content common case) must NOT
+	// tombstone: the pinned bytes still match the cache.
+	c.PutDecoded("k2", []byte("w"), nil)
+	c.Get("k2")
+	h.Rebuild(c)
+	c.PutDecoded("k2", []byte("w"), nil)
+	if _, _, ok := h.Get("k2"); !ok {
+		t.Fatal("identical-bytes replace tombstoned a still-valid hot entry")
+	}
+
+	// The next rebuild re-pins the fresh bytes.
+	c.Get("k")
+	h.Rebuild(c)
+	if raw, _, ok := h.Get("k"); !ok || string(raw) != "v2" {
+		t.Fatalf("rebuilt tier = %q ok=%v, want v2", raw, ok)
+	}
+}
+
+// TestHotTierInvalidatedOnEvict: a hot key evicted from the LRU must
+// stop serving from the snapshot immediately.
+func TestHotTierInvalidatedOnEvict(t *testing.T) {
+	// Budget fits roughly two entries (key+val+overhead ≈ 132 each).
+	c := NewCache(300)
+	h := NewHotTier(4)
+	c.OnInvalidate(h.Invalidate)
+
+	c.PutDecoded("a", []byte("va"), nil)
+	c.Get("a")
+	h.Rebuild(c)
+	if _, _, ok := h.Get("a"); !ok {
+		t.Fatal("tier should serve a before the eviction")
+	}
+
+	// Two more entries push "a" (the LRU tail) out.
+	c.PutDecoded("b", []byte("vb"), nil)
+	c.PutDecoded("c", []byte("vc"), nil)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("test setup: a was not evicted")
+	}
+	if raw, _, ok := h.Get("a"); ok {
+		t.Fatalf("tier served %q for a key the LRU evicted", raw)
+	}
+}
+
+// TestHotTierReplaceRace hammers one key with byte-changing replaces
+// while readers serve from the hot tier: a reader must never observe a
+// version older than one fully replaced before its Get began. Run with
+// -race.
+func TestHotTierReplaceRace(t *testing.T) {
+	c := NewCache(0)
+	h := NewHotTier(2)
+	c.OnInvalidate(h.Invalidate)
+
+	var lastPut atomic.Int64
+	version := func(raw []byte) int64 {
+		n, err := strconv.ParseInt(string(raw), 10, 64)
+		if err != nil {
+			t.Errorf("unparseable hot value %q", raw)
+		}
+		return n
+	}
+
+	c.PutDecoded("k", []byte("0"), nil)
+	c.Get("k")
+	h.Rebuild(c)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				before := lastPut.Load()
+				if raw, _, ok := h.Get("k"); ok {
+					if v := version(raw); v < before {
+						t.Errorf("hot tier served version %d after version %d was fully replaced", v, before)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := int64(1); i <= 2000; i++ {
+		c.PutDecoded("k", []byte(strconv.FormatInt(i, 10)), nil)
+		lastPut.Store(i)
+		if i%100 == 0 {
+			c.Get("k")
+			h.Rebuild(c)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

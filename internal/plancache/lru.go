@@ -1,6 +1,7 @@
 package plancache
 
 import (
+	"bytes"
 	"container/list"
 	"sort"
 	"sync"
@@ -32,6 +33,13 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// onInvalidate, when set, is called (outside the lock) for every key
+	// whose entry left the cache or changed bytes: eviction, or a replace
+	// whose new value differs from the old. A tier snapshotting cache
+	// contents (HotTier) hooks this so it can never serve bytes the LRU
+	// no longer holds.
+	onInvalidate func(key string)
 }
 
 type entry struct {
@@ -101,9 +109,16 @@ func (c *Cache) PutDecoded(key string, val []byte, decoded any) {
 		return
 	}
 	var evicted int64
+	// Keys whose bytes left the cache under the lock; the hook runs after
+	// unlock (it may take its own lock) but before PutDecoded returns, so
+	// a caller that completed a replace never races its own invalidation.
+	var stale []string
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*entry)
+		if c.onInvalidate != nil && !bytes.Equal(e.val, val) {
+			stale = append(stale, key)
+		}
 		c.bytes += int64(len(val)) - int64(len(e.val))
 		e.val = val
 		e.decoded = decoded
@@ -123,12 +138,23 @@ func (c *Cache) PutDecoded(key string, val []byte, decoded any) {
 		c.bytes -= int64(len(e.key)+len(e.val)) + entryOverhead
 		c.evictions++
 		evicted++
+		if c.onInvalidate != nil {
+			stale = append(stale, e.key)
+		}
 	}
 	c.mu.Unlock()
+	for _, k := range stale {
+		c.onInvalidate(k)
+	}
 	if evicted > 0 {
 		telemetry.Active().Counter("plancache.evictions").Add(evicted)
 	}
 }
+
+// OnInvalidate registers fn to be called for every key whose entry is
+// evicted or replaced with different bytes. Set once, before the cache
+// is shared between goroutines; fn must not call back into the cache.
+func (c *Cache) OnInvalidate(fn func(key string)) { c.onInvalidate = fn }
 
 // Stats is a point-in-time view of the cache counters.
 type Stats struct {

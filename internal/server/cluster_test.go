@@ -248,6 +248,52 @@ func TestPeerPlanRejectsExcessHops(t *testing.T) {
 	}
 }
 
+// TestQuotaRetryAfterRounding pins the Retry-After rounding on quota
+// sheds: a sub-second wait must render at least 1 (0 tells the client to
+// retry immediately into the same empty bucket), and a whole-second wait
+// must round up without gaining a spare second.
+func TestQuotaRetryAfterRounding(t *testing.T) {
+	cases := []struct {
+		name string
+		rate float64
+		want string
+	}{
+		// rate 2/s, burst 1: the over-quota wait is ~0.5s → ceil to 1.
+		{"sub-second wait rounds up to 1", 2, "1"},
+		// rate 0.25/s, burst 1: the wait is ~4s → exactly 4, not 5.
+		{"whole-second wait keeps its ceiling", 0.25, "4"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			quotas := cluster.NewQuotas(tc.rate, 1)
+			_, ts := newTestServer(t, Config{Quotas: quotas})
+			body := planBody("rect", 16)
+			var shed *http.Response
+			for i := 0; i < 2; i++ {
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan", bytes.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Tenant", "burst")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				shed = resp
+			}
+			if shed.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("second request: status %d, want 429", shed.StatusCode)
+			}
+			if ra := shed.Header.Get("Retry-After"); ra != tc.want {
+				t.Errorf("Retry-After = %q, want %q", ra, tc.want)
+			}
+		})
+	}
+}
+
 // TestQuotaShedsOneTenantOnly exhausts one tenant's token bucket and
 // asserts it sheds with 429 + Retry-After while another tenant — and
 // the anonymous bucket — keep planning.

@@ -206,7 +206,14 @@ func (s *Server) allowTenant(w http.ResponseWriter, r *http.Request) bool {
 	if sp := obs.TraceFrom(r.Context()).Root(); sp != nil {
 		sp.SetAttr("quota_tenant", tenant)
 	}
-	secs := int(wait/time.Second) + 1
+	// Ceiling with a floor of 1: Retry-After is whole seconds, and a
+	// sub-second wait must never round to 0 (an immediate retry into the
+	// same empty bucket), while an exact multiple must not gain a spare
+	// second.
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	writeError(w, http.StatusTooManyRequests,
 		fmt.Sprintf("tenant %q over quota, retry in %ds", tenant, secs))
@@ -322,10 +329,16 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 // commResponse wraps a plan result with its communication-set summary.
-// Result is the canonical plan bytes, unchanged by the analysis.
+// Result is the canonical plan bytes, unchanged by the analysis. For
+// plans resolved in the rectangular-grid family the envelope also carries
+// the Dinh–Demmel communication lower bound and the plan's optimality
+// score against it (100 = comm-optimal); both are omitted when the bound
+// makes no claim about the served plan's family.
 type commResponse struct {
-	Result json.RawMessage   `json:"result"`
-	Comm   *commsets.Summary `json:"comm"`
+	Result            json.RawMessage   `json:"result"`
+	Comm              *commsets.Summary `json:"comm"`
+	CommLowerBound    *int64            `json:"comm_lower_bound,omitempty"`
+	CommOptimalityPct *float64          `json:"comm_optimality_pct,omitempty"`
 }
 
 // handleCommSets answers ?commsets=1: the served plan plus its exact
@@ -341,9 +354,10 @@ func (s *Server) handleCommSets(w http.ResponseWriter, r *http.Request, req loop
 		return
 	}
 	reg.Counter("server.commsets").Add(1)
+	lb, pct := s.cfg.Service.CommOptimality(req, resp.Result, sum.Words)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Plancache", resp.Status)
-	json.NewEncoder(w).Encode(commResponse{Result: resp.Raw, Comm: sum})
+	json.NewEncoder(w).Encode(commResponse{Result: resp.Raw, Comm: sum, CommLowerBound: lb, CommOptimalityPct: pct})
 }
 
 // verifyResponse wraps a plan result with its self-check report. Result

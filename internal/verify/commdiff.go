@@ -39,6 +39,13 @@ type CommDiff struct {
 	CachesimChecked bool
 	// SteadyCoherence is the steady-state epoch's coherence misses.
 	SteadyCoherence int64
+	// LowerBoundChecked reports the lower-bound sandwich ran: the
+	// Dinh–Demmel bound qualified at least one reference class, so
+	// LowerBound ≤ Words must hold — the served rect plan's grid is one of
+	// the factorization grids the bound minimizes over.
+	LowerBoundChecked bool
+	// LowerBound is the computed communication lower bound in words.
+	LowerBound int64
 }
 
 // ErrCommDiffUnsupported marks nests the differential cannot take
@@ -139,6 +146,20 @@ func DiffCommSets(src string, procs int) (*CommDiff, error) {
 		if steady < comm.TotalWords || steady > 2*comm.TotalWords {
 			return res, fmt.Errorf("coherence sandwich violated: steady-state epoch has %d coherence misses, comm sets predict [%d, %d]",
 				steady, comm.TotalWords, 2*comm.TotalWords)
+		}
+	}
+
+	// Leg 4: lower-bound sandwich. The rect plan measured above comes
+	// from the factorization-grid family the Dinh–Demmel bound minimizes
+	// over, so whenever the bound qualifies any reference class its value
+	// must sit at or below the exact measured words — a violation means
+	// either the bound over-counts or the comm sets under-count.
+	if lb, err := partition.CommLowerBound(a, procs); err == nil && lb.Classes > 0 {
+		res.LowerBoundChecked = true
+		res.LowerBound = lb.Words
+		if lb.Words > comm.TotalWords {
+			return res, fmt.Errorf("lower-bound sandwich violated: bound %d words > exact comm %d words (grid %v)",
+				lb.Words, comm.TotalWords, lb.Grid)
 		}
 	}
 	return res, nil

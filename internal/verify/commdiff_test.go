@@ -14,7 +14,7 @@ func TestDiffCommSetsCorpus(t *testing.T) {
 	rnd := rand.New(rand.NewSource(42))
 	const want = 220
 	checked := 0
-	var withComm, values, sandwich, analytic int
+	var withComm, values, sandwich, analytic, bounded int
 	for i := 0; checked < want; i++ {
 		if i >= 6*want {
 			t.Fatalf("generator kept producing unsupported nests: %d/%d after %d tries", checked, want, i)
@@ -45,9 +45,12 @@ func TestDiffCommSetsCorpus(t *testing.T) {
 		if res.Method == "analytic" {
 			analytic++
 		}
+		if res.LowerBoundChecked {
+			bounded++
+		}
 	}
-	t.Logf("%d nests: %d with communication, %d value-checked, %d sandwich-checked, %d fully analytic",
-		checked, withComm, values, sandwich, analytic)
+	t.Logf("%d nests: %d with communication, %d value-checked, %d sandwich-checked, %d fully analytic, %d lower-bounded",
+		checked, withComm, values, sandwich, analytic, bounded)
 	// The corpus must actually exercise every leg, not vacuously pass.
 	if withComm < want/10 {
 		t.Fatalf("only %d/%d nests had any communication; corpus too weak", withComm, checked)
@@ -60,6 +63,9 @@ func TestDiffCommSetsCorpus(t *testing.T) {
 	}
 	if analytic < want/4 {
 		t.Fatalf("only %d/%d nests used the analytic engine", analytic, checked)
+	}
+	if bounded < 10 {
+		t.Fatalf("only %d nests took the lower-bound sandwich leg", bounded)
 	}
 }
 

@@ -25,6 +25,7 @@ package looppart
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -112,6 +113,14 @@ const (
 	// AbrahamHudak runs the baseline algorithm of [6] on its restricted
 	// program class.
 	AbrahamHudak
+	// LowerBound plans the rectangular grid minimizing the Dinh–Demmel
+	// per-grid communication lower bound, and reports the bound itself so
+	// any plan's measured traffic can be scored against it.
+	LowerBound
+	// Oblivious emits a cache-oblivious recursive-bisection plan (PCOT
+	// style): no tile extents are baked in, so the plan also covers nests
+	// whose upper bounds are symbolic (`?N`) at planning time.
+	Oblivious
 )
 
 func (s Strategy) String() string {
@@ -132,6 +141,10 @@ func (s Strategy) String() string {
 		return "blocks"
 	case AbrahamHudak:
 		return "abraham-hudak"
+	case LowerBound:
+		return "lowerbound"
+	case Oblivious:
+		return "oblivious"
 	default:
 		return "unknown"
 	}
@@ -148,6 +161,8 @@ type Plan struct {
 	Tile *tile.Tile
 	// Slab is set for communication-free hyperplane plans.
 	Slab *partition.SlabPlan
+	// Oblivious is set for cache-oblivious recursive-bisection plans.
+	Oblivious *partition.ObliviousPlan
 
 	// PredictedFootprint and PredictedTraffic are per-tile model values
 	// (footprint only for tile plans).
@@ -170,6 +185,9 @@ func (pr *Program) PartitionCtx(ctx context.Context, procs int, strategy Strateg
 	if procs < 1 {
 		return nil, fmt.Errorf("looppart: procs must be >= 1, got %d", procs)
 	}
+	if pr.Nest.Symbolic() && strategy != Oblivious && strategy != Auto {
+		return nil, fmt.Errorf("looppart: nest has symbolic bounds; only the oblivious strategy can plan it")
+	}
 	reg := telemetry.Active()
 	if strategy != Auto {
 		sp := reg.StartSpan("partition." + strategy.String())
@@ -178,6 +196,12 @@ func (pr *Program) PartitionCtx(ctx context.Context, procs int, strategy Strateg
 	}
 	switch strategy {
 	case Auto:
+		if pr.Nest.Symbolic() {
+			reg.Emit("strategy.auto", "oblivious", map[string]any{
+				"reason": "symbolic loop bounds; only cache-oblivious bisection needs no extents",
+			})
+			return pr.PartitionCtx(ctx, procs, Oblivious)
+		}
 		if plan, err := pr.PartitionCtx(ctx, procs, CommFree); err == nil {
 			reg.Emit("strategy.auto", "comm-free", map[string]any{
 				"reason": "a communication-free hyperplane partition exists",
@@ -188,12 +212,8 @@ func (pr *Program) PartitionCtx(ctx context.Context, procs int, strategy Strateg
 			"reason": "no communication-free partition; falling back to footprint-optimal rectangles",
 		})
 		return pr.PartitionCtx(ctx, procs, Rect)
-	case Rect:
-		rp, err := partition.OptimizeRectCtx(ctx, pr.Analysis, procs)
-		if err != nil {
-			return nil, err
-		}
-		return pr.tilePlan(strategy, procs, rp.Tile(), rp.PredictedFootprint, rp.PredictedTraffic)
+	case Rect, Skewed, LowerBound, Oblivious:
+		return pr.familyPlan(ctx, strategy, procs)
 	case Rows, Columns, Blocks:
 		shape := map[Strategy]partition.NaiveShape{
 			Rows: partition.ByRows, Columns: partition.ByColumns, Blocks: partition.ByBlocks,
@@ -209,22 +229,47 @@ func (pr *Program) PartitionCtx(ctx context.Context, procs int, strategy Strateg
 			return nil, err
 		}
 		return pr.tilePlan(strategy, procs, rp.Tile(), rp.PredictedFootprint, rp.PredictedTraffic)
-	case Skewed:
-		sp, err := partition.OptimizeSkewCtx(ctx, pr.Analysis, procs, 3)
-		if err != nil {
-			return nil, err
-		}
-		return pr.tilePlan(strategy, procs, sp.Tile, sp.PredictedFootprint, 0)
 	case CommFree:
-		sp, ok := partition.FindCommFree(pr.Analysis, procs, true)
-		if !ok {
-			return nil, fmt.Errorf("looppart: no communication-free partition exists for this nest")
-		}
-		plan := &Plan{Program: pr, Strategy: strategy, Procs: procs, Slab: &sp}
-		plan.assign = func(p []int64) int { return sp.SlabOf(p, procs) }
-		return plan, nil
+		return pr.familyPlan(ctx, strategy, procs)
 	default:
 		return nil, fmt.Errorf("looppart: unknown strategy %d", strategy)
+	}
+}
+
+// familyPlan routes a strategy through the partition.Family registry and
+// lifts the family-independent result into a Plan.
+func (pr *Program) familyPlan(ctx context.Context, strategy Strategy, procs int) (*Plan, error) {
+	fam, ok := partition.Lookup(strategy.String())
+	if !ok {
+		return nil, fmt.Errorf("looppart: unknown strategy %d", strategy)
+	}
+	fp, err := fam.Optimize(ctx, pr.Analysis, procs)
+	if err != nil {
+		if errors.Is(err, partition.ErrNoCommFree) {
+			return nil, fmt.Errorf("looppart: no communication-free partition exists for this nest")
+		}
+		return nil, err
+	}
+	switch {
+	case fp.Tile != nil:
+		return pr.tilePlan(strategy, procs, *fp.Tile, fp.PredictedFootprint, fp.PredictedTraffic)
+	case fp.Slab != nil:
+		sp := fp.Slab
+		plan := &Plan{Program: pr, Strategy: strategy, Procs: procs, Slab: sp}
+		plan.assign = func(p []int64) int { return sp.SlabOf(p, procs) }
+		return plan, nil
+	case fp.Oblivious != nil:
+		plan := &Plan{Program: pr, Strategy: strategy, Procs: procs, Oblivious: fp.Oblivious}
+		if !fp.Oblivious.Symbolic {
+			asg, err := fp.Oblivious.Assign(tile.BoundsOf(pr.Nest), procs)
+			if err != nil {
+				return nil, err
+			}
+			plan.assign = asg
+		}
+		return plan, nil
+	default:
+		return nil, fmt.Errorf("looppart: strategy %s produced an empty plan", strategy)
 	}
 }
 
@@ -246,7 +291,19 @@ func (pr *Program) tilePlan(s Strategy, procs int, t tile.Tile, fp, tr float64) 
 }
 
 // Assign returns the processor executing the given doall iteration point.
+// It panics for symbolic-bounds plans (Concrete reports which).
 func (p *Plan) Assign(point []int64) int { return p.assign(point) }
+
+// Concrete reports whether the plan carries an iteration→processor
+// assignment. Oblivious plans over symbolic bounds do not: they are a
+// split policy, resolvable only once the extents are known.
+func (p *Plan) Concrete() bool { return p.assign != nil }
+
+// errSymbolicPlan is the uniform refusal for replay/execution of a plan
+// with no concrete assignment.
+func (p *Plan) errSymbolicPlan() error {
+	return fmt.Errorf("looppart: plan over symbolic bounds has no concrete assignment; supply concrete extents to simulate or execute")
+}
 
 // LoadImbalance returns max/mean iterations per processor (1.0 = perfect).
 // Slab plans over skewed hyperplanes can be noticeably imbalanced — the
@@ -278,6 +335,9 @@ func (p *Plan) LoadImbalance() float64 {
 // subtile extents; cacheLines bounds each cache (0 = infinite, where
 // ordering cannot matter).
 func (p *Plan) SimulateBlocked(subExt []int64, cacheLines int) (cachesim.Metrics, error) {
+	if !p.Concrete() {
+		return cachesim.Metrics{}, p.errSymbolicPlan()
+	}
 	space := tile.BoundsOf(p.Program.Nest)
 	subTiling, err := tile.RectTilingFor(space, subExt)
 	if err != nil {
@@ -331,6 +391,8 @@ func lexLess(a, b []int64) bool {
 
 func (p *Plan) String() string {
 	switch {
+	case p.Oblivious != nil:
+		return fmt.Sprintf("%s plan for %d procs: %v", p.Strategy, p.Procs, p.Oblivious)
 	case p.Slab != nil:
 		return fmt.Sprintf("%s plan for %d procs: %v", p.Strategy, p.Procs, *p.Slab)
 	case p.Tile != nil:
@@ -351,6 +413,9 @@ type SimOptions struct {
 // plan and returns the metrics. When telemetry is active, the metrics
 // publish as sim.<strategy>.* counters alongside a simulation span.
 func (p *Plan) Simulate(opts SimOptions) (cachesim.Metrics, error) {
+	if !p.Concrete() {
+		return cachesim.Metrics{}, p.errSymbolicPlan()
+	}
 	reg := telemetry.Active()
 	sp := reg.StartSpan("simulate." + p.Strategy.String())
 	defer sp.End()
@@ -464,6 +529,9 @@ func (p *Plan) Execute() (exec.Store, error) {
 
 // ExecuteOn runs the nest under the plan over a caller-provided store.
 func (p *Plan) ExecuteOn(st exec.Store) error {
+	if !p.Concrete() {
+		return p.errSymbolicPlan()
+	}
 	reg := telemetry.Active()
 	sp := reg.StartSpan("execute." + p.Strategy.String())
 	defer sp.End()

@@ -184,6 +184,57 @@ wait "$daemon_pid"
 daemon_pid=
 grep -q 'served 4 requests (2 searches, 2 cache hits)' "$smokedir/daemon.log"
 
+echo '== smoke: -strategies gating and the ?commsets=1 optimality score =='
+# A daemon restricted to rect,skew,lowerbound ("skew" is the accepted
+# short spelling of "skewed") must plan those strategies, reject the
+# rest, and score every rect-family ?commsets=1 answer against the
+# communication lower bound: comm_optimality_pct present, finite, ≤ 100.
+"$smokedir/looppartd" -addr 127.0.0.1:0 -portfile "$smokedir/port2" \
+	-strategies rect,skew,lowerbound -reqlog '' >"$smokedir/daemon2.log" &
+daemon_pid=$!
+i=0
+while [ ! -s "$smokedir/port2" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo 'verify: strategy-gated looppartd never wrote its portfile' >&2
+		cat "$smokedir/daemon2.log" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr2=$(cat "$smokedir/port2")
+grep -q 'strategies enabled: rect, skewed, lowerbound' "$smokedir/daemon2.log"
+
+commreq='{"source":"doall (i, 1, 64)\n doall (j, 1, 64)\n  A[i,j] = A[i+1,j] + A[i,j+2] + 1\n enddoall\nenddoall","procs":16,"strategy":"rect"}'
+curl -sf -o "$smokedir/commresp" \
+	-H 'Content-Type: application/json' --data "$commreq" "http://$addr2/v1/plan?commsets=1"
+grep -q '"comm_lower_bound":' "$smokedir/commresp"
+pct=$(sed -n 's/.*"comm_optimality_pct":\([0-9][0-9.e+-]*\).*/\1/p' "$smokedir/commresp")
+[ -n "$pct" ] || {
+	echo 'verify: ?commsets=1 response carries no finite comm_optimality_pct' >&2
+	cat "$smokedir/commresp" >&2
+	exit 1
+}
+awk "BEGIN{exit !($pct >= 0 && $pct <= 100)}" || {
+	echo "verify: comm_optimality_pct $pct outside [0, 100]" >&2
+	cat "$smokedir/commresp" >&2
+	exit 1
+}
+
+# A strategy outside the enabled set must be rejected, not planned.
+rejreq='{"source":"doall (i, 1, 64)\n A[i] = A[i] + 1\nenddoall","procs":4,"strategy":"blocks"}'
+rejcode=$(curl -s -o "$smokedir/rejresp" -w '%{http_code}' \
+	-H 'Content-Type: application/json' --data "$rejreq" "http://$addr2/v1/plan")
+[ "$rejcode" != 200 ] || {
+	echo 'verify: disabled strategy "blocks" was served instead of rejected' >&2
+	exit 1
+}
+grep -q 'not enabled' "$smokedir/rejresp"
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=
+
 echo '== smoke: 3-replica cluster peer-fills, one search fleet-wide =='
 # Three daemons on ephemeral ports, each handed the same three @portfile
 # peer specs (its own included; the ring dedups) — boot order does not

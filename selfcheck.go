@@ -70,6 +70,35 @@ func (pr *Program) PlanFromResult(res *PlanResult) (*Plan, error) {
 			return nil, fmt.Errorf("looppart: served tile plan has neither extents nor matrix")
 		}
 		return pr.tilePlan(strategy, res.Procs, t, res.PredictedFootprint, res.PredictedTraffic)
+	case "oblivious":
+		// The bisection policy is a deterministic function of the analysis
+		// and the processor count, so re-derive it and require the served
+		// split order (the policy's serialized fingerprint) to match — a
+		// mismatch means the source no longer produces the served plan.
+		op, err := partition.OptimizeOblivious(pr.Analysis, res.Procs)
+		if err != nil {
+			return nil, err
+		}
+		if len(op.Order) != len(res.ObliviousOrder) {
+			return nil, fmt.Errorf("looppart: served split order %v has wrong rank for this nest", res.ObliviousOrder)
+		}
+		for i, d := range op.Order {
+			if res.ObliviousOrder[i] != d {
+				return nil, fmt.Errorf("looppart: served split order %v no longer matches the nest's derived order %v", res.ObliviousOrder, op.Order)
+			}
+		}
+		if op.Symbolic != res.ObliviousSymbolic {
+			return nil, fmt.Errorf("looppart: served plan symbolic=%v but the nest derives symbolic=%v", res.ObliviousSymbolic, op.Symbolic)
+		}
+		plan := &Plan{Program: pr, Strategy: strategy, Procs: res.Procs, Oblivious: op}
+		if !op.Symbolic {
+			asg, err := op.Assign(tile.BoundsOf(pr.Nest), res.Procs)
+			if err != nil {
+				return nil, err
+			}
+			plan.assign = asg
+		}
+		return plan, nil
 	default:
 		return nil, fmt.Errorf("looppart: served plan has unknown kind %q", res.Kind)
 	}

@@ -5,12 +5,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"looppart/internal/autotune"
 	"looppart/internal/commsets"
 	"looppart/internal/obs"
+	"looppart/internal/partition"
 	"looppart/internal/plancache"
 	"looppart/internal/telemetry"
 )
@@ -18,7 +21,7 @@ import (
 // ParseStrategy maps a strategy name (the CLI and HTTP spelling) to its
 // Strategy value.
 func ParseStrategy(name string) (Strategy, bool) {
-	for _, s := range []Strategy{Auto, Rect, Skewed, CommFree, Rows, Columns, Blocks, AbrahamHudak} {
+	for _, s := range []Strategy{Auto, Rect, Skewed, CommFree, Rows, Columns, Blocks, AbrahamHudak, LowerBound, Oblivious} {
 		if s.String() == name {
 			return s, true
 		}
@@ -56,14 +59,19 @@ type PlanResult struct {
 	Resolved string `json:"resolved"`
 	Procs    int    `json:"procs"`
 
-	// Kind is "tile" or "slab". Tile plans carry the extents (rectangular)
-	// or the full L matrix rows (skewed); slab plans carry the hyperplane.
+	// Kind is "tile", "slab", or "oblivious". Tile plans carry the extents
+	// (rectangular) or the full L matrix rows (skewed); slab plans carry
+	// the hyperplane; oblivious plans carry the bisection split order.
 	Kind         string    `json:"kind"`
 	TileExtents  []int64   `json:"tile_extents,omitempty"`
 	TileMatrix   [][]int64 `json:"tile_matrix,omitempty"`
 	SlabNormal   []int64   `json:"slab_normal,omitempty"`
 	SlabWidth    int64     `json:"slab_width,omitempty"`
 	SlabCommFree bool      `json:"slab_comm_free,omitempty"`
+	// ObliviousOrder is the recursive-bisection dimension priority;
+	// ObliviousSymbolic marks a policy-only plan over `?N` bounds.
+	ObliviousOrder    []int `json:"oblivious_order,omitempty"`
+	ObliviousSymbolic bool  `json:"oblivious_symbolic,omitempty"`
 
 	PredictedFootprint float64 `json:"predicted_footprint,omitempty"`
 	PredictedTraffic   float64 `json:"predicted_traffic,omitempty"`
@@ -82,6 +90,16 @@ type PlanResult struct {
 	// (internal/commsets) — attached only when the service runs with
 	// ServiceOptions.CommSets, so default encodings are unchanged.
 	Comm *commsets.Summary `json:"comm,omitempty"`
+
+	// CommLowerBound is the Dinh–Demmel communication lower bound for the
+	// nest over this processor count, and CommOptimalityPct is
+	// 100·bound/measured-words — how close the served plan's exact
+	// communication comes to the best any rectangular partition could do.
+	// Both are attached only alongside Comm and only for plans resolved in
+	// the rectangular-grid family (pointers, so a genuine zero survives
+	// omitempty while legacy encodings stay byte-identical).
+	CommLowerBound    *int64   `json:"comm_lower_bound,omitempty"`
+	CommOptimalityPct *float64 `json:"comm_optimality_pct,omitempty"`
 
 	// Rendered is plan.String() — byte-identical to the partition line
 	// cmd/looppart prints for the same nest/procs/strategy.
@@ -161,6 +179,11 @@ type ServiceOptions struct {
 	// analysis costs a pass over the plan's reference classes, and the
 	// extra field changes the canonical plan bytes.
 	CommSets bool
+	// Strategies, when non-empty, is the set of strategy names this
+	// service will plan (the -strategies flag): requests naming any other
+	// strategy are rejected before parsing. Empty means all registered
+	// strategies are enabled.
+	Strategies []string
 }
 
 // Service is the embeddable planning facade behind cmd/looppartd: it
@@ -178,6 +201,7 @@ type Service struct {
 	fingerprint    autotune.Fingerprint
 	autotuneCLines int
 	commSets       bool
+	strategies     map[string]bool // enabled strategy names; nil = all
 
 	requests      atomic.Int64
 	searches      atomic.Int64
@@ -205,8 +229,20 @@ func NewService(opts ServiceOptions) *Service {
 		autotuneCLines: opts.AutotuneCacheLines,
 		commSets:       opts.CommSets,
 	}
+	if len(opts.Strategies) > 0 {
+		s.strategies = make(map[string]bool, len(opts.Strategies))
+		for _, name := range opts.Strategies {
+			s.strategies[name] = true
+		}
+	}
 	if s.hotEvery <= 0 {
 		s.hotEvery = plancache.DefaultHotRebuildEvery
+	}
+	if s.hot != nil {
+		// A key the LRU evicts or re-fills with different bytes must stop
+		// serving from the hot snapshot immediately, not at the next
+		// rebuild.
+		s.cache.OnInvalidate(s.hot.Invalidate)
 	}
 	if s.store != nil {
 		var loaded int64
@@ -515,6 +551,40 @@ func (s *Service) CommSummary(ctx context.Context, req PlanRequest, res *PlanRes
 	return plan.CommSummary(ctx)
 }
 
+// CommOptimality scores a served plan's exact communication word count
+// against the nest's Dinh–Demmel lower bound (the ?commsets=1 envelope's
+// comm_lower_bound / comm_optimality_pct fields). It returns non-nil only
+// for plans resolved in the rectangular-grid family — rect and lowerbound
+// — whose tiles are rectangular: only those provably come from the
+// factorization grids the bound minimizes over. Nil results mean "no
+// claim", never an error: the envelope simply omits the fields.
+func (s *Service) CommOptimality(req PlanRequest, res *PlanResult, words int64) (*int64, *float64) {
+	if (res.Resolved != Rect.String() && res.Resolved != LowerBound.String()) ||
+		res.Kind != "tile" || len(res.TileExtents) == 0 {
+		return nil, nil
+	}
+	if res.CommLowerBound != nil && res.CommOptimalityPct != nil {
+		return res.CommLowerBound, res.CommOptimalityPct
+	}
+	prog, err := Parse(req.Source, req.Params)
+	if err != nil {
+		return nil, nil
+	}
+	lb, err := partition.CommLowerBound(prog.Analysis, res.Procs)
+	if err != nil {
+		return nil, nil
+	}
+	bound := lb.Words
+	var pct float64
+	switch {
+	case words > 0:
+		pct = 100 * float64(bound) / float64(words)
+	case bound == 0:
+		pct = 100
+	}
+	return &bound, &pct
+}
+
 // Explain answers req with a fresh, uncached pipeline run and returns the
 // decision trace alongside the result. It temporarily installs a private
 // telemetry registry to collect the trace, so the caller must guarantee
@@ -557,6 +627,16 @@ func (s *Service) prepare(req PlanRequest) (*Program, int, Strategy, error) {
 	if !ok {
 		return nil, 0, 0, fmt.Errorf("looppart: unknown strategy %q", req.Strategy)
 	}
+	if s.strategies != nil && !s.strategies[name] {
+		enabled := make([]string, 0, len(s.strategies))
+		for n := range s.strategies {
+			enabled = append(enabled, n)
+		}
+		sort.Strings(enabled)
+		return nil, 0, 0, fmt.Errorf("looppart: strategy %q is not enabled (enabled: %s)",
+			name, strings.Join(enabled, ", "))
+	}
+	telemetry.Active().Counter("service.plan.strategy." + strategy.String()).Add(1)
 	prog, err := Parse(req.Source, req.Params)
 	if err != nil {
 		return nil, 0, 0, err
@@ -691,6 +771,31 @@ func (s *Service) encode(ctx context.Context, plan *Plan, res *autotune.Result, 
 				}
 				result.TileMatrix[i] = row
 			}
+		}
+	case plan.Oblivious != nil:
+		result.Kind = "oblivious"
+		result.ObliviousOrder = plan.Oblivious.Order
+		result.ObliviousSymbolic = plan.Oblivious.Symbolic
+	}
+	// With the exact word count in hand, sandwich it against the
+	// communication lower bound — but only for plans the rectangular-grid
+	// family produced (rect and lowerbound): those provably come from the
+	// same factorization grids the bound minimizes over, so bound ≤ words
+	// is an invariant, not a hope. Skewed and fixed-shape plans may sit
+	// outside that family.
+	if result.Comm != nil && (plan.Strategy == Rect || plan.Strategy == LowerBound) &&
+		plan.Tile != nil && plan.Tile.IsRect() {
+		if lb, err := partition.CommLowerBound(plan.Program.Analysis, procs); err == nil {
+			bound := lb.Words
+			var pct float64
+			switch {
+			case result.Comm.Words > 0:
+				pct = 100 * float64(bound) / float64(result.Comm.Words)
+			case bound == 0:
+				pct = 100 // zero communication is trivially optimal
+			}
+			result.CommLowerBound = &bound
+			result.CommOptimalityPct = &pct
 		}
 	}
 	buf := encodeBufPool.Get().(*bytes.Buffer)
